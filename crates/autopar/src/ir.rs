@@ -1,0 +1,233 @@
+//! Loop-nest IR: the program representation the modeled compiler analyzes.
+//!
+//! The IR captures exactly what loop-level dependence analysis consumes:
+//! which scalars a statement reads and writes, which array elements it
+//! touches (with symbolic subscripts), and which calls it makes. Subscript
+//! expressions distinguish the analyzable case (affine in the loop
+//! variable) from the unanalyzable ones (other variables, data-dependent
+//! values) — the distinction the paper's compilers founder on.
+
+/// A subscript expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A compile-time constant.
+    Const(i64),
+    /// `scale * var + offset`, affine in the named variable.
+    Affine {
+        /// The variable (usually a loop variable).
+        var: String,
+        /// Multiplier.
+        scale: i64,
+        /// Additive constant.
+        offset: i64,
+    },
+    /// A value the compiler cannot analyze (data-dependent subscript,
+    /// pointer arithmetic, value returned from a call).
+    Opaque(String),
+}
+
+impl Expr {
+    /// Shorthand for the loop variable itself.
+    pub fn var(name: &str) -> Self {
+        Expr::Affine { var: name.to_string(), scale: 1, offset: 0 }
+    }
+}
+
+/// One array access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayRef {
+    /// Array name.
+    pub array: String,
+    /// Subscripts, outermost dimension first.
+    pub indices: Vec<Expr>,
+    /// Whether this access writes.
+    pub write: bool,
+}
+
+/// A straight-line statement, summarized by its effects.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stmt {
+    /// Human-readable label for reports.
+    pub label: String,
+    /// Scalars read.
+    pub reads: Vec<String>,
+    /// Scalars written.
+    pub writes: Vec<String>,
+    /// Scalars updated by an associative reduction (`x = x op expr`).
+    /// A *modern* parallelizer can privatize these; the 1998 compilers the
+    /// paper tested could not (see `deps::analyze_loop_with`).
+    pub reductions: Vec<String>,
+    /// Array accesses.
+    pub arrays: Vec<ArrayRef>,
+    /// Names of opaque (separately compiled / pointer-manipulating)
+    /// functions called.
+    pub calls: Vec<String>,
+}
+
+impl Stmt {
+    /// An empty statement with a label.
+    pub fn new(label: &str) -> Self {
+        Stmt { label: label.to_string(), ..Stmt::default() }
+    }
+
+    /// Builder: add scalar reads.
+    pub fn reads(mut self, names: &[&str]) -> Self {
+        self.reads.extend(names.iter().map(|s| s.to_string()));
+        self
+    }
+
+    /// Builder: add scalar writes.
+    pub fn writes(mut self, names: &[&str]) -> Self {
+        self.writes.extend(names.iter().map(|s| s.to_string()));
+        self
+    }
+
+    /// Builder: mark scalars as associative reductions (they must also be
+    /// listed as writes).
+    pub fn reduces(mut self, names: &[&str]) -> Self {
+        self.reductions.extend(names.iter().map(|s| s.to_string()));
+        self
+    }
+
+    /// Builder: add an array access.
+    pub fn array(mut self, array: &str, indices: Vec<Expr>, write: bool) -> Self {
+        self.arrays.push(ArrayRef { array: array.to_string(), indices, write });
+        self
+    }
+
+    /// Builder: add an opaque call.
+    pub fn call(mut self, name: &str) -> Self {
+        self.calls.push(name.to_string());
+        self
+    }
+}
+
+/// A node of a loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A statement.
+    Stmt(Stmt),
+    /// A nested loop.
+    Loop(LoopNest),
+}
+
+/// A counted loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNest {
+    /// Label for reports (e.g. `"for threat"`).
+    pub label: String,
+    /// The loop variable.
+    pub var: String,
+    /// Variables declared inside the body (privatizable by definition).
+    pub private: Vec<String>,
+    /// Whether the programmer marked the loop with an explicit parallel
+    /// pragma (`#pragma multithreaded` / Tera `assert parallel`).
+    pub pragma_parallel: bool,
+    /// Body nodes in order.
+    pub body: Vec<Node>,
+}
+
+impl LoopNest {
+    /// An empty loop over `var`.
+    pub fn new(label: &str, var: &str) -> Self {
+        Self {
+            label: label.to_string(),
+            var: var.to_string(),
+            private: Vec::new(),
+            pragma_parallel: false,
+            body: Vec::new(),
+        }
+    }
+
+    /// Builder: declare body-local (private) variables.
+    pub fn private(mut self, names: &[&str]) -> Self {
+        self.private.extend(names.iter().map(|s| s.to_string()));
+        self
+    }
+
+    /// Builder: mark with an explicit parallel pragma.
+    pub fn pragma(mut self) -> Self {
+        self.pragma_parallel = true;
+        self
+    }
+
+    /// Builder: append a statement.
+    pub fn stmt(mut self, s: Stmt) -> Self {
+        self.body.push(Node::Stmt(s));
+        self
+    }
+
+    /// Builder: append a nested loop.
+    pub fn nest(mut self, l: LoopNest) -> Self {
+        self.body.push(Node::Loop(l));
+        self
+    }
+
+    /// All statements in the body, including nested loops' bodies.
+    pub fn all_stmts(&self) -> Vec<&Stmt> {
+        let mut out = Vec::new();
+        fn walk<'a>(nodes: &'a [Node], out: &mut Vec<&'a Stmt>) {
+            for n in nodes {
+                match n {
+                    Node::Stmt(s) => out.push(s),
+                    Node::Loop(l) => walk(&l.body, out),
+                }
+            }
+        }
+        walk(&self.body, &mut out);
+        out
+    }
+
+    /// Variables private to the body at any nesting level (inner loop
+    /// variables are private by construction).
+    pub fn all_private(&self) -> Vec<String> {
+        let mut out = self.private.clone();
+        fn walk(nodes: &[Node], out: &mut Vec<String>) {
+            for n in nodes {
+                if let Node::Loop(l) = n {
+                    out.push(l.var.clone());
+                    out.extend(l.private.iter().cloned());
+                    walk(&l.body, out);
+                }
+            }
+        }
+        walk(&self.body, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let l = LoopNest::new("for i", "i")
+            .private(&["t"])
+            .stmt(
+                Stmt::new("a[i] = b[i]")
+                    .array("a", vec![Expr::var("i")], true)
+                    .array("b", vec![Expr::var("i")], false),
+            )
+            .nest(LoopNest::new("for j", "j").stmt(Stmt::new("x").writes(&["t"])));
+        assert_eq!(l.all_stmts().len(), 2);
+        let private = l.all_private();
+        assert!(private.contains(&"t".to_string()));
+        assert!(private.contains(&"j".to_string()), "inner loop var is private");
+    }
+
+    #[test]
+    fn expr_var_is_identity_affine() {
+        assert_eq!(Expr::var("i"), Expr::Affine { var: "i".into(), scale: 1, offset: 0 });
+    }
+
+    #[test]
+    fn all_stmts_walks_nesting_depth() {
+        let l = LoopNest::new("outer", "i").nest(
+            LoopNest::new("mid", "j")
+                .nest(LoopNest::new("inner", "k").stmt(Stmt::new("deep"))),
+        );
+        let labels: Vec<&str> = l.all_stmts().iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, vec!["deep"]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Compiler feedback, in the spirit of Tera's `canal` (compiler analysis)
+//! tool: per-loop verdicts with the specific reason each loop was not
+//! parallelized — the paper notes the real compilers could not even
+//! *suggest* what to change, so the reasons here are the analyzer's
+//! blocking dependences, stated plainly.
+
+/// Why a loop could not be auto-parallelized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reason {
+    /// A scalar visible across iterations is written (e.g.
+    /// `num_intervals`).
+    ScalarDependence {
+        /// The scalar's name.
+        name: String,
+    },
+    /// A store whose subscript the compiler cannot analyze (e.g.
+    /// `intervals[num_intervals]`, region-of-influence bounds).
+    DataDependentSubscript {
+        /// The array written.
+        array: String,
+    },
+    /// Two analyzable references may touch the same element in different
+    /// iterations (e.g. `a[i]` vs `a[i-1]`).
+    ArrayConflict {
+        /// The array written.
+        array: String,
+        /// Label of the statement it conflicts with.
+        with: String,
+    },
+    /// A call to a separately compiled / pointer-manipulating function.
+    OpaqueCall {
+        /// The callee.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for Reason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reason::ScalarDependence { name } => {
+                write!(f, "scalar `{name}` is written by every iteration (carried dependence)")
+            }
+            Reason::DataDependentSubscript { array } => {
+                write!(f, "store to `{array}` has a data-dependent subscript; iterations may collide")
+            }
+            Reason::ArrayConflict { array, with } => {
+                write!(f, "references to `{array}` may touch the same element across iterations (vs {with})")
+            }
+            Reason::OpaqueCall { name } => {
+                write!(f, "call to `{name}` cannot be analyzed (separate compilation / pointers)")
+            }
+        }
+    }
+}
+
+/// The analyzer's verdict on one loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopVerdict {
+    /// The loop's label.
+    pub loop_label: String,
+    /// Whether the loop may run multithreaded.
+    pub parallel: bool,
+    /// Whether parallelization came from an explicit pragma rather than
+    /// analysis.
+    pub by_pragma: bool,
+    /// Blocking reasons when not parallel.
+    pub reasons: Vec<Reason>,
+}
+
+impl std::fmt::Display for LoopVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.parallel && self.by_pragma {
+            writeln!(f, "{}: PARALLEL (by explicit pragma — independence asserted by programmer)", self.loop_label)
+        } else if self.parallel {
+            writeln!(f, "{}: PARALLEL (proved independent)", self.loop_label)
+        } else {
+            writeln!(f, "{}: NOT parallelized", self.loop_label)?;
+            for r in &self.reasons {
+                writeln!(f, "    - {r}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// A whole-program report: one verdict per analyzed loop.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Verdicts, program order.
+    pub verdicts: Vec<LoopVerdict>,
+}
+
+impl Report {
+    /// Whether the compiler found any loop it could parallelize *without*
+    /// a pragma.
+    pub fn any_auto_parallel(&self) -> bool {
+        self.verdicts.iter().any(|v| v.parallel && !v.by_pragma)
+    }
+
+    /// Whether every analyzed loop was rejected (the paper's outcome for
+    /// the unmodified benchmark programs).
+    pub fn all_rejected(&self) -> bool {
+        self.verdicts.iter().all(|v| !v.parallel)
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "automatic parallelization report ({} loops analyzed)", self.verdicts.len())?;
+        for v in &self.verdicts {
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reasons_render_readably() {
+        let r = Reason::ScalarDependence { name: "num_intervals".into() };
+        assert!(r.to_string().contains("num_intervals"));
+        let r = Reason::OpaqueCall { name: "can_intercept".into() };
+        assert!(r.to_string().contains("can_intercept"));
+    }
+
+    #[test]
+    fn verdict_display_lists_reasons() {
+        let v = LoopVerdict {
+            loop_label: "for threat".into(),
+            parallel: false,
+            by_pragma: false,
+            reasons: vec![Reason::ScalarDependence { name: "n".into() }],
+        };
+        let s = v.to_string();
+        assert!(s.contains("NOT parallelized"));
+        assert!(s.contains("scalar `n`"));
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = Report {
+            verdicts: vec![
+                LoopVerdict { loop_label: "a".into(), parallel: false, by_pragma: false, reasons: vec![] },
+                LoopVerdict { loop_label: "b".into(), parallel: true, by_pragma: true, reasons: vec![] },
+            ],
+        };
+        assert!(!report.any_auto_parallel());
+        assert!(!report.all_rejected(), "the pragma loop counts as parallel");
+    }
+}

@@ -1,0 +1,99 @@
+//! Figures 1–4 (speedup-curve generation) plus host executions of the
+//! benchmark programs themselves: scenario generation, the sequential
+//! baselines, and every manual parallelization, measured as real wall
+//! clock on this machine.
+
+use bench::experiments;
+use c3i::terrain::{self, TerrainScenarioParams};
+use c3i::threat::{self, ThreatScenarioParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval_core::Figure;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let e = experiments();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(20);
+    for (name, f) in [
+        ("fig1_threat_ppro", Figure::ThreatPPro),
+        ("fig2_threat_exemplar", Figure::ThreatExemplar),
+        ("fig3_terrain_ppro", Figure::TerrainPPro),
+        ("fig4_terrain_exemplar", Figure::TerrainExemplar),
+    ] {
+        println!("{}", e.figure(f));
+        g.bench_function(name, |b| b.iter(|| black_box(e.figure_series(f))));
+    }
+    g.finish();
+}
+
+fn bench_host_threat(c: &mut Criterion) {
+    let scenario = threat::generate(ThreatScenarioParams {
+        n_threats: 300,
+        n_weapons: 10,
+        seed: 1,
+        ..Default::default()
+    });
+    let mut g = c.benchmark_group("host_threat_analysis");
+    g.sample_size(20);
+    g.bench_function("generate_scenario", |b| {
+        b.iter(|| {
+            black_box(threat::generate(ThreatScenarioParams {
+                n_threats: 300,
+                n_weapons: 10,
+                seed: 1,
+                ..Default::default()
+            }))
+        })
+    });
+    g.bench_function("sequential", |b| b.iter(|| black_box(threat::threat_analysis_host(&scenario))));
+    for threads in [1usize, 2, 4] {
+        g.bench_function(format!("chunked_{threads}threads"), |b| {
+            b.iter(|| black_box(threat::threat_analysis_chunked_host(&scenario, threads, threads)))
+        });
+    }
+    g.bench_function("chunked_256chunks", |b| {
+        b.iter(|| black_box(threat::threat_analysis_chunked_host(&scenario, 256, 4)))
+    });
+    g.bench_function("fine_grained_4threads", |b| {
+        b.iter(|| black_box(threat::threat_analysis_fine_host(&scenario, 4)))
+    });
+    g.finish();
+}
+
+fn bench_host_terrain(c: &mut Criterion) {
+    let scenario = terrain::generate(TerrainScenarioParams {
+        grid_size: 256,
+        n_threats: 15,
+        seed: 1,
+        ..Default::default()
+    });
+    let mut g = c.benchmark_group("host_terrain_masking");
+    g.sample_size(20);
+    g.bench_function("generate_scenario", |b| {
+        b.iter(|| {
+            black_box(terrain::generate(TerrainScenarioParams {
+                grid_size: 256,
+                n_threats: 15,
+                seed: 1,
+                ..Default::default()
+            }))
+        })
+    });
+    g.bench_function("sequential", |b| b.iter(|| black_box(terrain::terrain_masking_host(&scenario))));
+    for threads in [1usize, 2, 4] {
+        g.bench_function(format!("coarse_{threads}threads"), |b| {
+            b.iter(|| black_box(terrain::terrain_masking_coarse_host(&scenario, threads, 10)))
+        });
+    }
+    g.bench_function("fine_4threads", |b| {
+        b.iter(|| black_box(terrain::terrain_masking_fine_host(&scenario, 4)))
+    });
+    g.bench_function("verify", |b| {
+        let masking = terrain::terrain_masking_host(&scenario);
+        b.iter(|| terrain::verify_masking(&scenario, black_box(&masking)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_host_threat, bench_host_terrain);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Cycle-level MTA simulator microbenchmarks: the utilization-vs-streams
+//! experiment of §5/§7, synchronization primitives, bank behaviour, and
+//! raw simulator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mta_sim::kernels::{
+    alu_kernel, measure_utilization, mem_kernel, pipeline_kernel, reduce_kernel, run_kernel,
+    vector_add_kernel,
+};
+use mta_sim::{Machine, MtaConfig};
+use std::hint::black_box;
+
+fn cfg1() -> MtaConfig {
+    MtaConfig { mem_words: 1 << 20, ..MtaConfig::tera(1) }
+}
+
+fn bench_utilization(c: &mut Criterion) {
+    // Print the curve once — this is the §7 "80 streams" experiment.
+    println!("utilization vs streams (mta-sim, 25% memory mix):");
+    for s in [1usize, 8, 21, 40, 64, 80, 128] {
+        println!("  {s:>3} streams: {:.3}", measure_utilization(cfg1(), s, 400, 3));
+    }
+    let mut g = c.benchmark_group("mta_utilization");
+    g.sample_size(10);
+    for s in [1usize, 21, 80] {
+        g.bench_function(format!("simulate_{s}streams"), |b| {
+            b.iter(|| black_box(measure_utilization(cfg1(), s, 200, 3)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mta_kernels");
+    g.sample_size(10);
+    g.bench_function("vector_add_64streams", |b| {
+        b.iter(|| {
+            let (program, layout) = vector_add_kernel(512, 64);
+            let mut m = Machine::new(cfg1(), program).unwrap();
+            for i in 0..layout.n {
+                m.memory_mut().store_f64(layout.a_base + i, 1.0);
+                m.memory_mut().store_f64(layout.b_base + i, 2.0);
+            }
+            m.spawn(0, 0).unwrap();
+            black_box(m.run(100_000_000))
+        })
+    });
+    g.bench_function("fetch_add_reduce_32streams", |b| {
+        b.iter(|| {
+            let (program, _) = reduce_kernel(400, 32);
+            black_box(run_kernel(cfg1(), program, &[]).1)
+        })
+    });
+    g.bench_function("pipeline_8stages", |b| {
+        b.iter(|| {
+            let (program, layout) = pipeline_kernel(8, 40);
+            let empties: Vec<usize> = (0..=8).map(|k| layout.chan_base + k).collect();
+            black_box(run_kernel(cfg1(), program, &empties).1)
+        })
+    });
+    g.finish();
+}
+
+fn bench_banks(c: &mut Criterion) {
+    let big = || MtaConfig { mem_words: 1 << 23, ..MtaConfig::tera(1) };
+    // Report the hot-bank effect once.
+    let (_, cold) = run_kernel(big(), mem_kernel(64, 100, 1, 4096), &[]);
+    let (_, hot) = run_kernel(big(), mem_kernel(64, 100, 64, 4096), &[]);
+    println!(
+        "bank interleave: stride-1 {} cycles, stride-64 (hot bank) {} cycles ({:.2}x)",
+        cold.cycles,
+        hot.cycles,
+        hot.cycles as f64 / cold.cycles as f64
+    );
+    let mut g = c.benchmark_group("mta_banks");
+    g.sample_size(10);
+    g.bench_function("stride1", |b| {
+        b.iter(|| black_box(run_kernel(big(), mem_kernel(64, 100, 1, 4096), &[]).1))
+    });
+    g.bench_function("stride64_hot", |b| {
+        b.iter(|| black_box(run_kernel(big(), mem_kernel(64, 100, 64, 4096), &[]).1))
+    });
+    g.finish();
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    // How many simulated instructions per host-second the simulator
+    // achieves on a saturated machine.
+    let mut g = c.benchmark_group("mta_sim_throughput");
+    g.sample_size(10);
+    g.bench_function("alu_128streams_200iters", |b| {
+        b.iter(|| black_box(run_kernel(cfg1(), alu_kernel(128, 200), &[]).1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_utilization, bench_kernels, bench_banks, bench_sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Microbenchmarks of the sthreads runtime primitives: the host-side
+//! costs of the structures whose Tera/SMP costs the machine models charge
+//! (spawn, barrier, full/empty handoff, fetch-add claims).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sthreads::{multithreaded_for, reduce, Barrier, Schedule, SyncCounter, SyncVar, WorkQueue};
+
+fn bench_syncvar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives_syncvar");
+    g.bench_function("uncontended_write_take", |b| {
+        let v = SyncVar::new_empty();
+        b.iter(|| {
+            v.write(black_box(42u64));
+            black_box(v.take())
+        })
+    });
+    g.bench_function("producer_consumer_handoff_x100", |b| {
+        b.iter(|| {
+            let v = SyncVar::new_empty();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for i in 0..100u64 {
+                        v.write(i);
+                    }
+                });
+                for _ in 0..100 {
+                    black_box(v.take());
+                }
+            });
+        })
+    });
+    g.finish();
+}
+
+fn bench_counters_and_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives_counters");
+    g.bench_function("fetch_add", |b| {
+        let ctr = SyncCounter::new(0);
+        b.iter(|| black_box(ctr.fetch_add(1)))
+    });
+    g.bench_function("work_queue_drain_1000", |b| {
+        b.iter(|| {
+            let q = WorkQueue::new(0..1000);
+            let mut n = 0usize;
+            while q.next().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_parallel_structures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives_parallel");
+    g.sample_size(20);
+    g.bench_function("spawn_region_4threads", |b| {
+        // The cost the models charge at 50k cycles/thread on 1998 SMPs.
+        b.iter(|| multithreaded_for(0..4, 4, Schedule::Static, |i| {
+            black_box(i);
+        }))
+    });
+    g.bench_function("barrier_x10_4threads", |b| {
+        b.iter(|| {
+            let bar = Barrier::new(4);
+            sthreads::scope_threads(4, |_| {
+                for _ in 0..10 {
+                    bar.wait();
+                }
+            });
+        })
+    });
+    g.bench_function("reduce_100k_4threads", |b| {
+        b.iter(|| black_box(reduce(100_000, 4, 0u64, |i| i as u64, |a, x| a + x)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_syncvar, bench_counters_and_queues, bench_parallel_structures);
+criterion_main!(benches);

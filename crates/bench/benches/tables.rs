@@ -1,0 +1,47 @@
+//! One Criterion group per paper table: each benchmark regenerates that
+//! table's full row set (profiles → calibrated models → seconds) and
+//! prints it once so `cargo bench` output doubles as the reproduction
+//! report.
+
+use bench::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let e = experiments();
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(20);
+
+    macro_rules! table_bench {
+        ($name:literal, $method:ident) => {
+            // Print the reproduced table once, then measure regeneration.
+            println!("{}", e.$method().render());
+            g.bench_function($name, |b| b.iter(|| black_box(e.$method())));
+        };
+    }
+
+    table_bench!("t02_threat_seq", table2);
+    table_bench!("t03_threat_ppro", table3);
+    table_bench!("t04_threat_exemplar", table4);
+    table_bench!("t05_threat_tera", table5);
+    table_bench!("t06_chunk_sweep", table6);
+    table_bench!("t07_threat_summary", table7);
+    table_bench!("t08_terrain_seq", table8);
+    table_bench!("t09_terrain_ppro", table9);
+    table_bench!("t10_terrain_exemplar", table10);
+    table_bench!("t11_terrain_tera", table11);
+    table_bench!("t12_terrain_summary", table12);
+    g.finish();
+
+    // The expensive part the tables amortize: assembling sweep profiles.
+    let mut g = c.benchmark_group("workload");
+    g.sample_size(10);
+    g.bench_function("ta_chunk_profile_256", |b| {
+        b.iter(|| black_box(e.workload.ta_chunked(256)))
+    });
+    g.bench_function("tm_greedy_bins_16", |b| b.iter(|| black_box(e.workload.tm_coarse(16))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Each bench target covers part of the paper's evaluation:
+//!
+//! * `tables` — one group per table (2–12): regenerates the paper row set
+//!   from measured profiles through the calibrated models and reports how
+//!   long the full experiment takes.
+//! * `figures` — the four speedup figures, plus *host* executions of the
+//!   benchmark programs themselves (workload generation, sequential
+//!   baseline, every parallel variant).
+//! * `mta_micro` — cycle-level simulator benchmarks (utilization curve,
+//!   kernels, bank behaviour).
+//! * `ablations` — design-choice studies the paper discusses: block-lock
+//!   granularity, static vs dynamic scheduling, chunk count, and MTA
+//!   latency-parameter sensitivity.
+
+use eval_core::{Experiments, Workload, WorkloadScale};
+use std::sync::OnceLock;
+
+/// The shared reduced-scale experiment harness (workload measurement and
+/// calibration run once per bench process).
+pub fn experiments() -> &'static Experiments {
+    static E: OnceLock<Experiments> = OnceLock::new();
+    E.get_or_init(|| Experiments::new(Workload::build(WorkloadScale::Reduced)))
+}

@@ -1,0 +1,198 @@
+//! Benchmark data files — the C3IPBS ships each problem with its input
+//! data and a correctness test; this module provides the file formats.
+//!
+//! Scenarios and outputs serialize as JSON, so benchmark inputs can be
+//! frozen, exchanged, and re-verified:
+//!
+//! ```no_run
+//! use c3i::io;
+//! use c3i::threat;
+//!
+//! let scenario = threat::small_scenario(1);
+//! io::save_threat_scenario(&scenario, "scenario1.json").unwrap();
+//! let loaded = io::load_threat_scenario("scenario1.json").unwrap();
+//! let intervals = threat::threat_analysis_host(&loaded);
+//! io::save_intervals(&intervals, "scenario1.out.json").unwrap();
+//! ```
+
+use crate::terrain::TerrainScenario;
+use crate::threat::{Interval, ThreatScenario};
+use std::path::Path;
+
+/// I/O or format error.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// JSON (de)serialization error.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Format(e) => write!(f, "format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Format(e)
+    }
+}
+
+fn save<T: serde::Serialize>(value: &T, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let json = serde_json::to_string(value)?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+fn load<T: serde::de::DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, IoError> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+/// Write a Threat Analysis scenario to a JSON file.
+pub fn save_threat_scenario(s: &ThreatScenario, path: impl AsRef<Path>) -> Result<(), IoError> {
+    save(s, path)
+}
+
+/// Read a Threat Analysis scenario from a JSON file.
+pub fn load_threat_scenario(path: impl AsRef<Path>) -> Result<ThreatScenario, IoError> {
+    load(path)
+}
+
+/// Write a Threat Analysis output (interval list) to a JSON file.
+pub fn save_intervals(intervals: &[Interval], path: impl AsRef<Path>) -> Result<(), IoError> {
+    save(&intervals, path)
+}
+
+/// Read a Threat Analysis output from a JSON file.
+pub fn load_intervals(path: impl AsRef<Path>) -> Result<Vec<Interval>, IoError> {
+    load(path)
+}
+
+/// Write a Terrain Masking scenario (terrain + threats) to a JSON file.
+pub fn save_terrain_scenario(s: &TerrainScenario, path: impl AsRef<Path>) -> Result<(), IoError> {
+    save(s, path)
+}
+
+/// Read a Terrain Masking scenario from a JSON file.
+pub fn load_terrain_scenario(path: impl AsRef<Path>) -> Result<TerrainScenario, IoError> {
+    load(path)
+}
+
+/// On-disk form of a masking grid: IEEE-754 bit patterns, because the
+/// masking field legitimately contains `+∞` (uncovered terrain) which
+/// JSON numbers cannot represent.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct MaskingFile {
+    x_size: usize,
+    y_size: usize,
+    bits: Vec<u64>,
+}
+
+/// Write a masking grid to a JSON file (bit-exact, including infinities).
+pub fn save_masking(grid: &crate::Grid<f64>, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let file = MaskingFile {
+        x_size: grid.x_size(),
+        y_size: grid.y_size(),
+        bits: grid.as_slice().iter().map(|v| v.to_bits()).collect(),
+    };
+    save(&file, path)
+}
+
+/// Read a masking grid from a JSON file.
+pub fn load_masking(path: impl AsRef<Path>) -> Result<crate::Grid<f64>, IoError> {
+    let file: MaskingFile = load(path)?;
+    let mut it = file.bits.into_iter();
+    Ok(crate::Grid::from_fn(file.x_size, file.y_size, |_, _| {
+        f64::from_bits(it.next().unwrap_or(0))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::terrain;
+    use crate::threat;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("c3i_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn threat_scenario_round_trips() {
+        let s = threat::small_scenario(5);
+        let path = tmp("threat.json");
+        save_threat_scenario(&s, &path).unwrap();
+        let loaded = load_threat_scenario(&path).unwrap();
+        assert_eq!(loaded.threats, s.threats);
+        assert_eq!(loaded.weapons, s.weapons);
+        // Outputs from the loaded scenario are identical.
+        assert_eq!(
+            threat::threat_analysis_host(&loaded),
+            threat::threat_analysis_host(&s)
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn intervals_round_trip_and_verify() {
+        let s = threat::small_scenario(6);
+        let out = threat::threat_analysis_host(&s);
+        let path = tmp("intervals.json");
+        save_intervals(&out, &path).unwrap();
+        let loaded = load_intervals(&path).unwrap();
+        assert_eq!(loaded, out);
+        threat::verify_intervals(&s, &loaded).expect("loaded output verifies");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn terrain_scenario_and_masking_round_trip() {
+        let s = terrain::small_scenario(7);
+        let sp = tmp("terrain.json");
+        save_terrain_scenario(&s, &sp).unwrap();
+        let loaded = load_terrain_scenario(&sp).unwrap();
+        assert_eq!(loaded.terrain, s.terrain);
+        assert_eq!(loaded.threats, s.threats);
+
+        let masking = terrain::terrain_masking_host(&loaded);
+        let mp = tmp("masking.json");
+        save_masking(&masking, &mp).unwrap();
+        let masking2 = load_masking(&mp).unwrap();
+        assert_eq!(masking2, masking);
+        terrain::verify_masking(&s, &masking2).expect("loaded masking verifies");
+        std::fs::remove_file(sp).ok();
+        std::fs::remove_file(mp).ok();
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let err = load_threat_scenario("/nonexistent/path/x.json").unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+        assert!(err.to_string().contains("io error"));
+    }
+
+    #[test]
+    fn malformed_file_reports_format_error() {
+        let path = tmp("bad.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        let err = load_threat_scenario(&path).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)));
+        std::fs::remove_file(path).ok();
+    }
+}

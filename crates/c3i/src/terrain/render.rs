@@ -1,0 +1,127 @@
+//! ASCII rendering of terrain and masking fields, for examples, quick
+//! inspection, and the `repro` binary's human-readable output.
+
+use crate::grid::Grid;
+
+/// Downsample a grid to at most `max_w × max_h` characters by point
+/// sampling, mapping each sampled value through `glyph`.
+pub fn render_grid<T>(
+    grid: &Grid<T>,
+    max_w: usize,
+    max_h: usize,
+    mut glyph: impl FnMut(usize, usize, &T) -> char,
+) -> String {
+    assert!(max_w > 0 && max_h > 0);
+    if grid.is_empty() {
+        return String::new();
+    }
+    let sx = grid.x_size().div_ceil(max_w).max(1);
+    let sy = grid.y_size().div_ceil(max_h).max(1);
+    let mut out = String::new();
+    let mut y = 0;
+    while y < grid.y_size() {
+        let mut x = 0;
+        while x < grid.x_size() {
+            out.push(glyph(x, y, &grid[(x, y)]));
+            x += sx;
+        }
+        out.push('\n');
+        y += sy;
+    }
+    out
+}
+
+/// Render elevations as shade characters (` .:-=+*#%@`, low to high).
+pub fn render_terrain(terrain: &Grid<f64>, max_w: usize, max_h: usize) -> String {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in terrain.as_slice() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = (hi - lo).max(1e-12);
+    const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    render_grid(terrain, max_w, max_h, |_, _, &v| {
+        let t = ((v - lo) / span * (SHADES.len() - 1) as f64).round() as usize;
+        SHADES[t.min(SHADES.len() - 1)]
+    })
+}
+
+/// Render a masking field relative to the terrain: `.` = no threat
+/// influence (fly at any altitude), `#` = pinned to the ground, digits
+/// 1–9 = safe ceiling above local terrain in units of `level_m` meters.
+pub fn render_masking(
+    masking: &Grid<f64>,
+    terrain: &Grid<f64>,
+    level_m: f64,
+    max_w: usize,
+    max_h: usize,
+) -> String {
+    assert_eq!(masking.x_size(), terrain.x_size());
+    assert_eq!(masking.y_size(), terrain.y_size());
+    render_grid(masking, max_w, max_h, |x, y, &m| {
+        if m.is_infinite() {
+            '.'
+        } else {
+            let headroom = m - terrain[(x, y)];
+            if headroom < level_m / 4.0 {
+                '#'
+            } else {
+                let level = (headroom / level_m).clamp(1.0, 9.0) as u32;
+                char::from_digit(level, 10).unwrap()
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_grid_respects_bounds() {
+        let g = Grid::from_fn(100, 60, |x, y| x + y);
+        let s = render_grid(&g, 40, 20, |_, _, _| 'x');
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() <= 20 + 1, "{} lines", lines.len());
+        assert!(lines[0].len() <= 40 + 1, "{} cols", lines[0].len());
+        assert!(lines.iter().all(|l| l.chars().all(|c| c == 'x')));
+    }
+
+    #[test]
+    fn small_grids_render_one_char_per_cell() {
+        let g = Grid::from_fn(3, 2, |x, _| x);
+        let s = render_grid(&g, 80, 40, |_, _, &v| char::from_digit(v as u32, 10).unwrap());
+        assert_eq!(s, "012\n012\n");
+    }
+
+    #[test]
+    fn terrain_shading_orders_by_elevation() {
+        let g = Grid::from_fn(10, 1, |x, _| x as f64 * 100.0);
+        let s = render_terrain(&g, 10, 1);
+        let chars: Vec<char> = s.trim_end().chars().collect();
+        assert_eq!(chars.first(), Some(&' '));
+        assert_eq!(chars.last(), Some(&'@'));
+        // Monotone shade progression.
+        const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let rank = |c: char| SHADES.iter().position(|&s| s == c).unwrap();
+        for w in chars.windows(2) {
+            assert!(rank(w[1]) >= rank(w[0]), "{s}");
+        }
+    }
+
+    #[test]
+    fn masking_renderer_distinguishes_the_three_regimes() {
+        let terrain = Grid::new(3, 1, 100.0f64);
+        let mut masking = Grid::new(3, 1, f64::INFINITY);
+        masking[(0, 0)] = 100.0; // pinned to ground
+        masking[(1, 0)] = 100.0 + 600.0; // 3 levels of 200 m
+        let s = render_masking(&masking, &terrain, 200.0, 10, 5);
+        assert_eq!(s.trim_end(), "#3.");
+    }
+
+    #[test]
+    fn empty_grid_renders_empty() {
+        let g: Grid<f64> = Grid::new(0, 0, 0.0);
+        assert_eq!(render_terrain(&g, 10, 10), "");
+    }
+}

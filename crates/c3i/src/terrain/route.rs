@@ -1,0 +1,260 @@
+//! Low-observability route planning — the downstream consumer of Terrain
+//! Masking.
+//!
+//! The benchmark's output is, for every terrain cell, the maximum
+//! altitude at which an aircraft there is invisible to all radars. The
+//! C3I application on top of it is mission planning: find a route across
+//! the terrain that a plane flying at a given altitude can take with the
+//! least radar exposure. This module implements that planner:
+//!
+//! * a cell is **exposed** at altitude `alt` when `alt > masking[cell]`
+//!   (the shadow ceiling there is below the aircraft);
+//! * [`plan_route`] runs Dijkstra over the 8-connected grid minimizing
+//!   `(exposed cells, path length)` lexicographically — the safest route
+//!   first, distance as the tie-breaker.
+
+use crate::grid::Grid;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A planned route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Cells visited, start to goal inclusive.
+    pub cells: Vec<(usize, usize)>,
+    /// Number of exposed cells along the route.
+    pub exposed_cells: usize,
+    /// Total path length in cell steps (diagonals count √2).
+    pub length: f64,
+}
+
+/// Whether a cell is exposed at `alt` given the masking grid.
+#[inline]
+pub fn is_exposed(masking: &Grid<f64>, x: usize, y: usize, alt: f64) -> bool {
+    alt > masking[(x, y)]
+}
+
+/// Fraction of the whole terrain exposed at `alt`.
+pub fn exposed_fraction(masking: &Grid<f64>, alt: f64) -> f64 {
+    if masking.is_empty() {
+        return 0.0;
+    }
+    let exposed = masking.as_slice().iter().filter(|&&m| alt > m).count();
+    exposed as f64 / masking.len() as f64
+}
+
+/// Plan the minimum-exposure route from `start` to `goal` for an aircraft
+/// at `alt`. Returns `None` only if start/goal are off the grid.
+///
+/// Cost order is lexicographic: fewest exposed cells first, then shortest
+/// distance. Exposure of the start cell counts; the planner may loiter in
+/// radar shadow as long as it likes.
+pub fn plan_route(
+    masking: &Grid<f64>,
+    alt: f64,
+    start: (usize, usize),
+    goal: (usize, usize),
+) -> Option<Route> {
+    let (xs, ys) = (masking.x_size(), masking.y_size());
+    if start.0 >= xs || start.1 >= ys || goal.0 >= xs || goal.1 >= ys {
+        return None;
+    }
+    // Lexicographic cost packed as (exposed, length-scaled): use integer
+    // milli-steps for the heap ordering to stay total.
+    #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
+    struct Cost {
+        exposed: usize,
+        milli_len: u64,
+    }
+    let idx = |x: usize, y: usize| y * xs + x;
+    let mut best: Vec<Option<Cost>> = vec![None; xs * ys];
+    let mut prev: Vec<usize> = vec![usize::MAX; xs * ys];
+    let mut heap: BinaryHeap<Reverse<(Cost, usize)>> = BinaryHeap::new();
+
+    let start_cost = Cost {
+        exposed: is_exposed(masking, start.0, start.1, alt) as usize,
+        milli_len: 0,
+    };
+    best[idx(start.0, start.1)] = Some(start_cost);
+    heap.push(Reverse((start_cost, idx(start.0, start.1))));
+
+    const DIRS: [(isize, isize, u64); 8] = [
+        (1, 0, 1000),
+        (-1, 0, 1000),
+        (0, 1, 1000),
+        (0, -1, 1000),
+        (1, 1, 1414),
+        (1, -1, 1414),
+        (-1, 1, 1414),
+        (-1, -1, 1414),
+    ];
+
+    while let Some(Reverse((cost, at))) = heap.pop() {
+        if best[at] != Some(cost) {
+            continue; // stale entry
+        }
+        let (x, y) = (at % xs, at / xs);
+        if (x, y) == goal {
+            // Reconstruct.
+            let mut cells = vec![(x, y)];
+            let mut cur = at;
+            while prev[cur] != usize::MAX {
+                cur = prev[cur];
+                cells.push((cur % xs, cur / xs));
+            }
+            cells.reverse();
+            return Some(Route {
+                cells,
+                exposed_cells: cost.exposed,
+                length: cost.milli_len as f64 / 1000.0,
+            });
+        }
+        for (dx, dy, step) in DIRS {
+            let nx = x as isize + dx;
+            let ny = y as isize + dy;
+            if nx < 0 || ny < 0 || nx as usize >= xs || ny as usize >= ys {
+                continue;
+            }
+            let (nx, ny) = (nx as usize, ny as usize);
+            let ncost = Cost {
+                exposed: cost.exposed + is_exposed(masking, nx, ny, alt) as usize,
+                milli_len: cost.milli_len + step,
+            };
+            let ni = idx(nx, ny);
+            if best[ni].map(|c| ncost < c).unwrap_or(true) {
+                best[ni] = Some(ncost);
+                prev[ni] = at;
+                heap.push(Reverse((ncost, ni)));
+            }
+        }
+    }
+    // Grid is connected, so this is unreachable for valid inputs; keep a
+    // defensive None for zero-size grids.
+    None
+}
+
+/// Sweep altitudes and report `(alt, exposed cells on the best route)` —
+/// the mission-planning trade curve (fly low: safe but slow/hard; fly
+/// high: exposed).
+pub fn altitude_sweep(
+    masking: &Grid<f64>,
+    alts: &[f64],
+    start: (usize, usize),
+    goal: (usize, usize),
+) -> Vec<(f64, usize)> {
+    alts.iter()
+        .filter_map(|&alt| plan_route(masking, alt, start, goal).map(|r| (alt, r.exposed_cells)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::terrain::{self, TerrainScenarioParams};
+
+    /// A masking grid with a vertical exposed wall and a gap.
+    fn wall_with_gap(size: usize, gap_y: usize) -> Grid<f64> {
+        Grid::from_fn(size, size, |x, y| {
+            if x == size / 2 && y != gap_y {
+                0.0 // exposed at any altitude above ground
+            } else {
+                f64::INFINITY
+            }
+        })
+    }
+
+    #[test]
+    fn route_threads_the_gap() {
+        let masking = wall_with_gap(21, 17);
+        let route =
+            plan_route(&masking, 1000.0, (0, 10), (20, 10)).expect("route must exist");
+        assert_eq!(route.exposed_cells, 0, "the gap makes a clean route possible");
+        assert!(route.cells.contains(&(10, 17)), "route must pass through the gap: {route:?}");
+        assert_eq!(route.cells.first(), Some(&(0, 10)));
+        assert_eq!(route.cells.last(), Some(&(20, 10)));
+    }
+
+    #[test]
+    fn route_accepts_exposure_when_there_is_no_gap() {
+        let masking = Grid::from_fn(15, 15, |x, _| if x == 7 { 0.0 } else { f64::INFINITY });
+        let route = plan_route(&masking, 500.0, (0, 7), (14, 7)).unwrap();
+        assert_eq!(route.exposed_cells, 1, "must cross the wall exactly once");
+    }
+
+    #[test]
+    fn shorter_of_two_clean_routes_wins() {
+        // All clear: the straight line should be chosen.
+        let masking = Grid::new(11, 11, f64::INFINITY);
+        let route = plan_route(&masking, 100.0, (0, 5), (10, 5)).unwrap();
+        assert_eq!(route.exposed_cells, 0);
+        assert!((route.length - 10.0).abs() < 1e-9, "{route:?}");
+        assert_eq!(route.cells.len(), 11);
+    }
+
+    #[test]
+    fn route_steps_are_adjacent() {
+        let masking = wall_with_gap(21, 3);
+        let route = plan_route(&masking, 1000.0, (0, 0), (20, 20)).unwrap();
+        for pair in route.cells.windows(2) {
+            let dx = (pair[1].0 as isize - pair[0].0 as isize).abs();
+            let dy = (pair[1].1 as isize - pair[0].1 as isize).abs();
+            assert!(dx <= 1 && dy <= 1 && (dx + dy) > 0, "non-adjacent step {pair:?}");
+        }
+    }
+
+    #[test]
+    fn flying_lower_never_exposes_more() {
+        // Monotonicity: exposure at the route level is non-decreasing in
+        // altitude (masking ceilings are fixed).
+        let scenario = terrain::generate(TerrainScenarioParams {
+            grid_size: 96,
+            n_threats: 8,
+            seed: 31,
+            ..Default::default()
+        });
+        let masking = terrain::terrain_masking_host(&scenario);
+        let sweep = altitude_sweep(
+            &masking,
+            &[200.0, 600.0, 1200.0, 2000.0, 4000.0],
+            (0, 48),
+            (95, 48),
+        );
+        assert_eq!(sweep.len(), 5);
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1,
+                "higher altitude must not reduce best-route exposure: {sweep:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exposed_fraction_matches_manual_count() {
+        let masking = wall_with_gap(10, 0);
+        // Wall column x=5 has 9 exposed cells (gap at y=0) out of 100.
+        assert!((exposed_fraction(&masking, 50.0) - 0.09).abs() < 1e-12);
+        assert_eq!(exposed_fraction(&masking, f64::NEG_INFINITY), 0.0);
+    }
+
+    #[test]
+    fn off_grid_endpoints_are_rejected() {
+        let masking = Grid::new(5, 5, f64::INFINITY);
+        assert!(plan_route(&masking, 100.0, (9, 0), (4, 4)).is_none());
+        assert!(plan_route(&masking, 100.0, (0, 0), (0, 9)).is_none());
+    }
+
+    #[test]
+    fn start_equals_goal() {
+        let masking = Grid::new(5, 5, f64::INFINITY);
+        let r = plan_route(&masking, 100.0, (2, 2), (2, 2)).unwrap();
+        assert_eq!(r.cells, vec![(2, 2)]);
+        assert_eq!(r.length, 0.0);
+    }
+
+    #[test]
+    fn sqrt2_constant_is_used_for_diagonals() {
+        let masking = Grid::new(5, 5, f64::INFINITY);
+        let r = plan_route(&masking, 100.0, (0, 0), (4, 4)).unwrap();
+        assert!((r.length - 4.0 * std::f64::consts::SQRT_2).abs() < 0.01, "{}", r.length);
+    }
+}

@@ -1,0 +1,252 @@
+//! Terrain Masking benchmark scenarios: synthetic terrain and ground-based
+//! threats.
+//!
+//! The C3IPBS terrain data is not publicly available; elevations are
+//! generated with the diamond-square (midpoint displacement) fractal, the
+//! standard synthetic model for natural terrain relief, from a seeded RNG.
+//! Threat placement follows the paper's stated statistics: 60 threats per
+//! scenario, each with a region of influence of up to 5 % of the terrain.
+
+use crate::grid::Grid;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A ground-based threat (radar site) with a circular-ish region of
+/// influence of Chebyshev radius `radius` cells.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GroundThreat {
+    /// Grid x coordinate of the radar.
+    pub x: usize,
+    /// Grid y coordinate of the radar.
+    pub y: usize,
+    /// Region-of-influence radius in cells (Chebyshev).
+    pub radius: usize,
+    /// Height of the radar mast above local terrain (m).
+    pub mast_height: f64,
+}
+
+/// A complete Terrain Masking input.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TerrainScenario {
+    /// Ground elevation (m) at every grid point.
+    pub terrain: Grid<f64>,
+    /// Radar threats on the terrain.
+    pub threats: Vec<GroundThreat>,
+    /// Physical size of one grid cell (m).
+    pub cell_size_m: f64,
+}
+
+/// Generation parameters for a synthetic scenario.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TerrainScenarioParams {
+    /// Terrain is `grid_size × grid_size` cells.
+    pub grid_size: usize,
+    /// Number of ground-based threats (the benchmark uses 60).
+    pub n_threats: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Peak-to-valley elevation range of the generated terrain (m).
+    pub relief_m: f64,
+    /// Cell edge length (m).
+    pub cell_size_m: f64,
+    /// Maximum fraction of the terrain one threat's region may cover
+    /// (paper: "up to 5% of the total terrain").
+    pub max_region_fraction: f64,
+}
+
+impl Default for TerrainScenarioParams {
+    fn default() -> Self {
+        Self {
+            grid_size: 1024,
+            n_threats: 60,
+            seed: 0,
+            relief_m: 1500.0,
+            cell_size_m: 100.0,
+            max_region_fraction: 0.05,
+        }
+    }
+}
+
+/// Diamond-square midpoint-displacement terrain on a `(2^n + 1)`-sized
+/// square, returned at exactly that size. `roughness` in `(0, 1)` controls
+/// how fast displacement amplitude decays per level (higher = rougher).
+pub fn diamond_square(levels: u32, roughness: f64, rng: &mut impl Rng) -> Grid<f64> {
+    let size = (1usize << levels) + 1;
+    let mut g = Grid::new(size, size, 0.0f64);
+    // Seed corners.
+    for &(x, y) in &[(0, 0), (size - 1, 0), (0, size - 1), (size - 1, size - 1)] {
+        g[(x, y)] = rng.random_range(-1.0..1.0);
+    }
+    let mut step = size - 1;
+    let mut amp = 1.0f64;
+    while step > 1 {
+        let half = step / 2;
+        // Diamond step: centers of squares.
+        for y in (half..size).step_by(step) {
+            for x in (half..size).step_by(step) {
+                let avg = (g[(x - half, y - half)]
+                    + g[(x + half, y - half)]
+                    + g[(x - half, y + half)]
+                    + g[(x + half, y + half)])
+                    / 4.0;
+                g[(x, y)] = avg + rng.random_range(-amp..amp);
+            }
+        }
+        // Square step: edge midpoints, averaging the diamond neighbors that
+        // exist (edges of the map have only three).
+        for y in (0..size).step_by(half) {
+            let x_start = if (y / half).is_multiple_of(2) { half } else { 0 };
+            for x in (x_start..size).step_by(step) {
+                let mut sum = 0.0;
+                let mut n = 0.0;
+                let xi = x as isize;
+                let yi = y as isize;
+                for (dx, dy) in [(0isize, -(half as isize)), (0, half as isize), (-(half as isize), 0), (half as isize, 0)] {
+                    if g.contains(xi + dx, yi + dy) {
+                        sum += g[((xi + dx) as usize, (yi + dy) as usize)];
+                        n += 1.0;
+                    }
+                }
+                g[(x, y)] = sum / n + rng.random_range(-amp..amp);
+            }
+        }
+        step = half;
+        amp *= roughness;
+    }
+    g
+}
+
+/// Generate a scenario from `params`, deterministically in the seed.
+pub fn generate(params: TerrainScenarioParams) -> TerrainScenario {
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ 0x7e44_a1ee_0000_0000);
+
+    // Build fractal terrain at the next power-of-two-plus-one size and crop.
+    let levels = (params.grid_size.max(2) as f64).log2().ceil() as u32;
+    let raw = diamond_square(levels, 0.55, &mut rng);
+    // Normalize to [0, relief_m].
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in raw.as_slice() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = (hi - lo).max(1e-12);
+    let terrain = Grid::from_fn(params.grid_size, params.grid_size, |x, y| {
+        (raw[(x, y)] - lo) / span * params.relief_m
+    });
+
+    // Threat radii: up to the 5% cap, with a floor that keeps regions
+    // non-trivial. A Chebyshev-radius-R region covers (2R+1)^2 cells.
+    let area = (params.grid_size * params.grid_size) as f64;
+    let r_max =
+        (((params.max_region_fraction * area).sqrt() - 1.0) / 2.0).floor().max(2.0) as usize;
+    let r_min = (r_max / 3).max(2);
+
+    let threats = (0..params.n_threats)
+        .map(|_| GroundThreat {
+            x: rng.random_range(0..params.grid_size),
+            y: rng.random_range(0..params.grid_size),
+            radius: rng.random_range(r_min..=r_max),
+            mast_height: rng.random_range(5.0..30.0),
+        })
+        .collect();
+
+    TerrainScenario { terrain, threats, cell_size_m: params.cell_size_m }
+}
+
+/// The five benchmark input scenarios (seeds 1–5, benchmark scale).
+pub fn benchmark_suite() -> Vec<TerrainScenario> {
+    (1..=5)
+        .map(|seed| generate(TerrainScenarioParams { seed, ..TerrainScenarioParams::default() }))
+        .collect()
+}
+
+/// A reduced scenario for tests and quick examples: 128×128 cells, 12
+/// threats.
+pub fn small_scenario(seed: u64) -> TerrainScenario {
+    generate(TerrainScenarioParams {
+        grid_size: 128,
+        n_threats: 12,
+        seed,
+        ..TerrainScenarioParams::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diamond_square_size_is_power_of_two_plus_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = diamond_square(4, 0.5, &mut rng);
+        assert_eq!(g.x_size(), 17);
+        assert_eq!(g.y_size(), 17);
+    }
+
+    #[test]
+    fn diamond_square_is_deterministic_in_seed() {
+        let a = diamond_square(5, 0.5, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = diamond_square(5, 0.5, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = diamond_square(5, 0.5, &mut ChaCha8Rng::seed_from_u64(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn terrain_is_normalized_to_relief_range() {
+        let s = small_scenario(1);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in s.terrain.as_slice() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo >= 0.0);
+        assert!(hi <= 1500.0 + 1e-9);
+        assert!(hi - lo > 100.0, "terrain should have meaningful relief, got {}", hi - lo);
+    }
+
+    #[test]
+    fn regions_respect_the_five_percent_cap() {
+        let s = generate(TerrainScenarioParams::default());
+        let area = (s.terrain.x_size() * s.terrain.y_size()) as f64;
+        for t in &s.threats {
+            let cells = ((2 * t.radius + 1) * (2 * t.radius + 1)) as f64;
+            assert!(
+                cells <= 0.05 * area + 1.0,
+                "region of radius {} covers {} cells > 5% of {}",
+                t.radius,
+                cells,
+                area
+            );
+        }
+    }
+
+    #[test]
+    fn benchmark_suite_matches_paper_statistics() {
+        let suite = benchmark_suite();
+        assert_eq!(suite.len(), 5, "five input scenarios");
+        for s in &suite {
+            assert_eq!(s.threats.len(), 60, "60 threats per scenario");
+        }
+    }
+
+    #[test]
+    fn threats_are_on_the_grid() {
+        let s = small_scenario(2);
+        for t in &s.threats {
+            assert!(t.x < s.terrain.x_size());
+            assert!(t.y < s.terrain.y_size());
+            assert!(t.radius >= 2);
+            assert!(t.mast_height > 0.0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_scenario(3);
+        let b = small_scenario(3);
+        assert_eq!(a.terrain, b.terrain);
+        assert_eq!(a.threats, b.threats);
+    }
+}

@@ -1,0 +1,309 @@
+//! Engagement scheduling — the downstream consumer of Threat Analysis.
+//!
+//! The benchmark computes, for every (threat, weapon) pair, the time
+//! intervals over which interception is possible ("options for
+//! intercepting the threats"). A battle-management system then has to
+//! *choose*: assign weapons to threats such that as many threats as
+//! possible are engaged, given that a weapon can service only one threat
+//! at a time. This module implements that assignment problem over the
+//! benchmark's interval output:
+//!
+//! * [`schedule_greedy`] — earliest-deadline-first over interception
+//!   windows, the classic interval-scheduling heuristic;
+//! * [`schedule_exhaustive`] — optimal assignment by branch and bound,
+//!   feasible for small scenarios and used to bound the heuristic in
+//!   tests;
+//! * [`coverage`] — scoring.
+
+use super::model::Interval;
+use std::collections::BTreeMap;
+
+/// One scheduled engagement: `weapon` engages `threat`, occupying the
+/// weapon for `[t_start, t_end]` (the full interception window is
+/// reserved — a conservative doctrine that keeps the model simple).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Engagement {
+    /// Threat index.
+    pub threat: u32,
+    /// Weapon index.
+    pub weapon: u32,
+    /// Reservation start (time step).
+    pub t_start: u32,
+    /// Reservation end (inclusive).
+    pub t_end: u32,
+}
+
+/// A complete engagement plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Plan {
+    /// Scheduled engagements, sorted by start time.
+    pub engagements: Vec<Engagement>,
+}
+
+impl Plan {
+    /// Number of distinct threats engaged.
+    pub fn threats_engaged(&self) -> usize {
+        let mut t: Vec<u32> = self.engagements.iter().map(|e| e.threat).collect();
+        t.sort_unstable();
+        t.dedup();
+        t.len()
+    }
+
+    /// Check plan validity against the interval set: every engagement
+    /// uses a reported interception window, each threat is engaged at
+    /// most once, and no weapon's reservations overlap.
+    pub fn validate(&self, intervals: &[Interval]) -> Result<(), String> {
+        use std::collections::BTreeSet;
+        let windows: BTreeSet<Interval> = intervals.iter().copied().collect();
+        let mut threats = BTreeSet::new();
+        let mut per_weapon: BTreeMap<u32, Vec<(u32, u32)>> = BTreeMap::new();
+        for e in &self.engagements {
+            let w = Interval { threat: e.threat, weapon: e.weapon, t_start: e.t_start, t_end: e.t_end };
+            if !windows.contains(&w) {
+                return Err(format!("engagement {e:?} is not a reported window"));
+            }
+            if !threats.insert(e.threat) {
+                return Err(format!("threat {} engaged twice", e.threat));
+            }
+            per_weapon.entry(e.weapon).or_default().push((e.t_start, e.t_end));
+        }
+        for (w, mut spans) in per_weapon {
+            spans.sort_unstable();
+            for pair in spans.windows(2) {
+                if pair[1].0 <= pair[0].1 {
+                    return Err(format!("weapon {w} double-booked: {pair:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Earliest-deadline-first greedy assignment: consider interception
+/// windows by increasing end time; take a window if its threat is not yet
+/// engaged and its weapon is free for the whole window. Runs in
+/// `O(n log n)` over the interval count.
+pub fn schedule_greedy(intervals: &[Interval]) -> Plan {
+    let mut by_deadline: Vec<&Interval> = intervals.iter().collect();
+    by_deadline.sort_unstable_by_key(|iv| (iv.t_end, iv.t_start, iv.threat, iv.weapon));
+
+    let mut engaged = std::collections::BTreeSet::new();
+    let mut weapon_busy: BTreeMap<u32, Vec<(u32, u32)>> = BTreeMap::new();
+    let mut plan = Plan::default();
+    for iv in by_deadline {
+        if engaged.contains(&iv.threat) {
+            continue;
+        }
+        let spans = weapon_busy.entry(iv.weapon).or_default();
+        let free = spans.iter().all(|&(s, e)| iv.t_end < s || iv.t_start > e);
+        if free {
+            engaged.insert(iv.threat);
+            spans.push((iv.t_start, iv.t_end));
+            plan.engagements.push(Engagement {
+                threat: iv.threat,
+                weapon: iv.weapon,
+                t_start: iv.t_start,
+                t_end: iv.t_end,
+            });
+        }
+    }
+    plan.engagements.sort_unstable_by_key(|e| (e.t_start, e.threat));
+    plan
+}
+
+/// Optimal assignment by depth-first branch and bound over threats.
+/// Exponential in the worst case — intended for small scenarios (tests,
+/// examples) to bound [`schedule_greedy`].
+pub fn schedule_exhaustive(intervals: &[Interval]) -> Plan {
+    // Group windows by threat.
+    let mut threats: BTreeMap<u32, Vec<Interval>> = BTreeMap::new();
+    for iv in intervals {
+        threats.entry(iv.threat).or_default().push(*iv);
+    }
+    let threat_ids: Vec<u32> = threats.keys().copied().collect();
+
+    fn weapon_free(busy: &BTreeMap<u32, Vec<(u32, u32)>>, iv: &Interval) -> bool {
+        busy.get(&iv.weapon)
+            .map(|spans| spans.iter().all(|&(s, e)| iv.t_end < s || iv.t_start > e))
+            .unwrap_or(true)
+    }
+
+    fn dfs(
+        idx: usize,
+        threat_ids: &[u32],
+        threats: &BTreeMap<u32, Vec<Interval>>,
+        busy: &mut BTreeMap<u32, Vec<(u32, u32)>>,
+        current: &mut Vec<Engagement>,
+        best: &mut Vec<Engagement>,
+    ) {
+        // Bound: even engaging every remaining threat cannot beat best.
+        if current.len() + (threat_ids.len() - idx) <= best.len() {
+            return;
+        }
+        if idx == threat_ids.len() {
+            if current.len() > best.len() {
+                *best = current.clone();
+            }
+            return;
+        }
+        let t = threat_ids[idx];
+        // Option 1: engage threat t with one of its windows.
+        for iv in &threats[&t] {
+            if weapon_free(busy, iv) {
+                busy.entry(iv.weapon).or_default().push((iv.t_start, iv.t_end));
+                current.push(Engagement {
+                    threat: iv.threat,
+                    weapon: iv.weapon,
+                    t_start: iv.t_start,
+                    t_end: iv.t_end,
+                });
+                dfs(idx + 1, threat_ids, threats, busy, current, best);
+                current.pop();
+                busy.get_mut(&iv.weapon).unwrap().pop();
+            }
+        }
+        // Option 2: leave threat t unengaged (a leaker).
+        dfs(idx + 1, threat_ids, threats, busy, current, best);
+    }
+
+    let mut best = Vec::new();
+    let mut current = Vec::new();
+    let mut busy = BTreeMap::new();
+    dfs(0, &threat_ids, &threats, &mut busy, &mut current, &mut best);
+    best.sort_unstable_by_key(|e| (e.t_start, e.threat));
+    Plan { engagements: best }
+}
+
+/// Fraction of threats with at least one interception window that the
+/// plan actually engages.
+pub fn coverage(plan: &Plan, intervals: &[Interval]) -> f64 {
+    let mut interceptable: Vec<u32> = intervals.iter().map(|iv| iv.threat).collect();
+    interceptable.sort_unstable();
+    interceptable.dedup();
+    if interceptable.is_empty() {
+        return 1.0;
+    }
+    plan.threats_engaged() as f64 / interceptable.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threat::{self, ThreatScenarioParams};
+
+    fn iv(threat: u32, weapon: u32, t_start: u32, t_end: u32) -> Interval {
+        Interval { threat, weapon, t_start, t_end }
+    }
+
+    #[test]
+    fn greedy_engages_disjoint_windows() {
+        let intervals = vec![iv(0, 0, 0, 5), iv(1, 0, 6, 9), iv(2, 1, 0, 9)];
+        let plan = schedule_greedy(&intervals);
+        plan.validate(&intervals).unwrap();
+        assert_eq!(plan.threats_engaged(), 3);
+    }
+
+    #[test]
+    fn greedy_respects_weapon_exclusivity() {
+        // One weapon, two fully overlapping windows: only one threat wins.
+        let intervals = vec![iv(0, 0, 0, 10), iv(1, 0, 2, 8)];
+        let plan = schedule_greedy(&intervals);
+        plan.validate(&intervals).unwrap();
+        assert_eq!(plan.threats_engaged(), 1);
+    }
+
+    #[test]
+    fn exhaustive_beats_greedy_on_an_adversarial_case() {
+        // EDF takes threat 0's early window on weapon 0, blocking threat
+        // 1's only option, even though threat 0 also had a late window on
+        // weapon 1. The exhaustive scheduler finds the 2-engagement plan.
+        let intervals = vec![
+            iv(0, 0, 0, 5), // tempting early window
+            iv(0, 1, 6, 7), // threat 0's alternative
+            iv(1, 0, 4, 6), // threat 1's ONLY window
+        ];
+        let greedy = schedule_greedy(&intervals);
+        let best = schedule_exhaustive(&intervals);
+        greedy.validate(&intervals).unwrap();
+        best.validate(&intervals).unwrap();
+        assert_eq!(greedy.threats_engaged(), 1, "{greedy:?}");
+        assert_eq!(best.threats_engaged(), 2, "{best:?}");
+    }
+
+    #[test]
+    fn exhaustive_equals_greedy_when_everything_is_disjoint() {
+        let intervals: Vec<Interval> =
+            (0..6).map(|t| iv(t, t % 2, 10 * t, 10 * t + 5)).collect();
+        assert_eq!(
+            schedule_greedy(&intervals).threats_engaged(),
+            schedule_exhaustive(&intervals).threats_engaged()
+        );
+    }
+
+    #[test]
+    fn plans_on_real_benchmark_output_validate() {
+        let scenario = threat::generate(ThreatScenarioParams {
+            n_threats: 60,
+            n_weapons: 6,
+            seed: 12,
+            ..Default::default()
+        });
+        let intervals = threat::threat_analysis_host(&scenario);
+        let plan = schedule_greedy(&intervals);
+        plan.validate(&intervals).expect("greedy plan must validate");
+        let cov = coverage(&plan, &intervals);
+        assert!(cov > 0.5, "greedy should engage most interceptable threats: {cov}");
+    }
+
+    #[test]
+    fn greedy_is_within_bound_of_optimal_on_small_scenarios() {
+        // EDF interval scheduling is 1/2-approximate in general; on the
+        // benchmark's loosely-coupled geometry it is usually optimal.
+        for seed in 0..5 {
+            let scenario = threat::generate(ThreatScenarioParams {
+                n_threats: 8,
+                n_weapons: 2,
+                seed,
+                theater_m: 250_000.0,
+                launch_window_s: 300.0,
+            });
+            let intervals = threat::threat_analysis_host(&scenario);
+            let greedy = schedule_greedy(&intervals).threats_engaged();
+            let best = schedule_exhaustive(&intervals).threats_engaged();
+            assert!(best >= greedy);
+            assert!(
+                2 * greedy >= best,
+                "greedy fell below its approximation bound: {greedy} vs {best} (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_fabricated_engagements() {
+        let intervals = vec![iv(0, 0, 0, 5)];
+        let bad = Plan {
+            engagements: vec![Engagement { threat: 0, weapon: 0, t_start: 1, t_end: 4 }],
+        };
+        assert!(bad.validate(&intervals).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_double_booked_weapon() {
+        let intervals = vec![iv(0, 0, 0, 5), iv(1, 0, 3, 8)];
+        let bad = Plan {
+            engagements: vec![
+                Engagement { threat: 0, weapon: 0, t_start: 0, t_end: 5 },
+                Engagement { threat: 1, weapon: 0, t_start: 3, t_end: 8 },
+            ],
+        };
+        let err = bad.validate(&intervals).unwrap_err();
+        assert!(err.contains("double-booked"));
+    }
+
+    #[test]
+    fn empty_interval_set_gives_empty_plan_full_coverage() {
+        let plan = schedule_greedy(&[]);
+        assert!(plan.engagements.is_empty());
+        assert_eq!(coverage(&plan, &[]), 1.0);
+    }
+}

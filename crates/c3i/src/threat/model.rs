@@ -1,0 +1,374 @@
+//! Physical model: ballistic threats, interceptor weapons, and the
+//! time-stepped interception predicate.
+//!
+//! The C3IPBS distribution (and its classified input data) is not publicly
+//! available, so this module defines a physically plausible model with the
+//! same computational structure as the benchmark: each (threat, weapon)
+//! pair is examined by a time-stepped simulation of threat and interceptor
+//! positions, and the interception predicate is a conjunction of envelope
+//! constraints that switches on and off as the threat flies, producing
+//! zero, one, or more maximal interception intervals per pair.
+
+use crate::counts::Rec;
+
+/// Simulation time step in seconds. The benchmark scans interception
+/// feasibility at integer multiples of this step.
+pub const TIME_STEP: f64 = 1.0;
+
+/// An incoming ballistic threat on a parabolic trajectory from `launch` to
+/// `impact` (ground coordinates in meters).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Threat {
+    /// Ground launch point (m).
+    pub launch: (f64, f64),
+    /// Ground impact point (m).
+    pub impact: (f64, f64),
+    /// Absolute launch time (s).
+    pub launch_time: f64,
+    /// Time of flight from launch to impact (s).
+    pub flight_time: f64,
+    /// Apex altitude of the trajectory (m).
+    pub apex_height: f64,
+    /// Delay after launch until radar detection (s).
+    pub detect_delay: f64,
+}
+
+impl Threat {
+    /// Absolute time at which the threat strikes the ground.
+    pub fn impact_time(&self) -> f64 {
+        self.launch_time + self.flight_time
+    }
+
+    /// Absolute time at which the threat is first detected. Interception
+    /// cannot be planned before this.
+    pub fn detect_time(&self) -> f64 {
+        self.launch_time + self.detect_delay
+    }
+
+    /// First integer time step at which interception may be considered.
+    pub fn first_step(&self) -> u32 {
+        (self.detect_time() / TIME_STEP).ceil().max(0.0) as u32
+    }
+
+    /// Last integer time step before impact.
+    pub fn last_step(&self) -> u32 {
+        (self.impact_time() / TIME_STEP).floor().max(0.0) as u32
+    }
+
+    /// Position of the threat at absolute time `t`, or `None` if the threat
+    /// is not in flight. Horizontal motion is uniform from launch to
+    /// impact; vertical motion is the parabola `z(τ) = 4·H·τ·(1−τ)` with
+    /// `τ` the flight fraction — the standard drag-free ballistic shape.
+    pub fn position<R: Rec>(&self, t: f64, r: &mut R) -> Option<(f64, f64, f64)> {
+        // The trajectory record is register-resident across the scan loop;
+        // only the time-window test touches it here.
+        r.load(2);
+        r.fp(2);
+        if t < self.launch_time || t > self.impact_time() {
+            return None;
+        }
+        let tau = (t - self.launch_time) / self.flight_time;
+        let x = self.launch.0 + (self.impact.0 - self.launch.0) * tau;
+        let y = self.launch.1 + (self.impact.1 - self.launch.1) * tau;
+        let z = 4.0 * self.apex_height * tau * (1.0 - tau);
+        r.load(2); // endpoints + apex (mostly register-resident)
+        r.fp(10); // interpolation + parabola
+        Some((x, y, z))
+    }
+}
+
+/// A ground-based interceptor battery.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Weapon {
+    /// Battery ground position (m).
+    pub pos: (f64, f64),
+    /// Interceptor fly-out speed (m/s).
+    pub interceptor_speed: f64,
+    /// Maximum slant range of an engagement (m).
+    pub max_range: f64,
+    /// Lowest altitude at which an intercept is allowed (m).
+    pub min_alt: f64,
+    /// Highest altitude the interceptor can reach (m).
+    pub max_alt: f64,
+    /// Command/launch reaction delay after threat detection (s).
+    pub reaction_time: f64,
+}
+
+/// One maximal interception interval: `weapon` can intercept `threat` at
+/// every integer time step in `t_start..=t_end`, and at neither
+/// `t_start − 1` nor `t_end + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Interval {
+    /// Index of the threat in the scenario.
+    pub threat: u32,
+    /// Index of the weapon in the scenario.
+    pub weapon: u32,
+    /// First feasible time step (inclusive).
+    pub t_start: u32,
+    /// Last feasible time step (inclusive).
+    pub t_end: u32,
+}
+
+/// The interception predicate: can `weapon` intercept `threat` at time step
+/// `step`? True when, at `t = step·TIME_STEP`:
+///
+/// 1. the threat is in flight and already detected (plus the weapon's
+///    reaction delay),
+/// 2. the threat's altitude lies inside the weapon's engagement envelope
+///    `[min_alt, max_alt]`,
+/// 3. the slant range from the battery to the threat does not exceed
+///    `max_range`, and
+/// 4. an interceptor launched at `detect_time + reaction_time` flying at
+///    `interceptor_speed` can reach the threat's position by `t`.
+///
+/// Each evaluation performs a fixed small amount of floating-point work —
+/// the time-stepped inner simulation the paper calls "not amenable to
+/// parallelization".
+pub fn can_intercept<R: Rec>(weapon: &Weapon, threat: &Threat, step: u32, r: &mut R) -> bool {
+    let t = step as f64 * TIME_STEP;
+    r.int(2); // step -> time, loop bookkeeping
+
+    let earliest = threat.detect_time() + weapon.reaction_time;
+    r.load(2);
+    r.fp(2);
+    if t < earliest || t > threat.impact_time() {
+        return false;
+    }
+
+    let Some((x, y, z)) = threat.position(t, r) else {
+        return false;
+    };
+
+    r.load(2); // envelope bounds
+    r.fp(2);
+    if z < weapon.min_alt || z > weapon.max_alt {
+        return false;
+    }
+
+    let dx = x - weapon.pos.0;
+    let dy = y - weapon.pos.1;
+    let slant2 = dx * dx + dy * dy + z * z;
+    r.load(2);
+    r.fp(7);
+    if slant2 > weapon.max_range * weapon.max_range {
+        r.fp(1);
+        return false;
+    }
+
+    let flyout = slant2.sqrt() / weapon.interceptor_speed;
+    r.load(1);
+    r.fp(3);
+    flyout <= t - earliest
+}
+
+/// Scan the time-stepped simulation for one (threat, weapon) pair and emit
+/// every maximal interception interval, in increasing time order. This is
+/// the `while` loop body of Programs 1 and 2: find the first feasible step
+/// `t1 ≥ t0`, extend it to the last consecutive feasible step `t2`, emit
+/// `[t1, t2]`, continue from `t2 + 1`.
+pub fn intervals_for_pair<R: Rec>(
+    threat_idx: u32,
+    weapon_idx: u32,
+    threat: &Threat,
+    weapon: &Weapon,
+    r: &mut R,
+    mut emit: impl FnMut(Interval),
+) {
+    let first = threat.first_step();
+    let last = threat.last_step();
+    r.load(2);
+    r.int(2);
+    if first > last {
+        return;
+    }
+
+    let mut t0 = first;
+    while t0 <= last {
+        // t1 = first time after t0 that weapon can intercept threat.
+        let mut t1 = t0;
+        while t1 <= last && !can_intercept(weapon, threat, t1, r) {
+            t1 += 1;
+            r.int(2);
+        }
+        if t1 > last {
+            return;
+        }
+        // t2 = last consecutive time after t1 that weapon can intercept.
+        let mut t2 = t1;
+        while t2 < last && can_intercept(weapon, threat, t2 + 1, r) {
+            t2 += 1;
+            r.int(2);
+        }
+        emit(Interval { threat: threat_idx, weapon: weapon_idx, t_start: t1, t_end: t2 });
+        r.sstore(4); // interval tuple written to the output array
+        r.int(2); // counter increment + t0 update
+        t0 = t2 + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::NoRec;
+
+    fn test_threat() -> Threat {
+        Threat {
+            launch: (0.0, 0.0),
+            impact: (100_000.0, 0.0),
+            launch_time: 10.0,
+            flight_time: 200.0,
+            apex_height: 80_000.0,
+            detect_delay: 5.0,
+        }
+    }
+
+    fn test_weapon() -> Weapon {
+        Weapon {
+            pos: (90_000.0, 0.0),
+            interceptor_speed: 3000.0,
+            max_range: 60_000.0,
+            min_alt: 1_000.0,
+            max_alt: 30_000.0,
+            reaction_time: 3.0,
+        }
+    }
+
+    #[test]
+    fn trajectory_endpoints_are_on_the_ground() {
+        let th = test_threat();
+        let (x0, y0, z0) = th.position(th.launch_time, &mut NoRec).unwrap();
+        assert_eq!((x0, y0), th.launch);
+        assert!(z0.abs() < 1e-9);
+        let (x1, y1, z1) = th.position(th.impact_time(), &mut NoRec).unwrap();
+        assert_eq!((x1, y1), th.impact);
+        assert!(z1.abs() < 1e-9);
+    }
+
+    #[test]
+    fn trajectory_apex_is_at_midcourse() {
+        let th = test_threat();
+        let tm = th.launch_time + th.flight_time / 2.0;
+        let (_, _, z) = th.position(tm, &mut NoRec).unwrap();
+        assert!((z - th.apex_height).abs() < 1e-6);
+        // Slightly before/after midcourse must be lower.
+        let (_, _, zb) = th.position(tm - 5.0, &mut NoRec).unwrap();
+        let (_, _, za) = th.position(tm + 5.0, &mut NoRec).unwrap();
+        assert!(zb < z && za < z);
+    }
+
+    #[test]
+    fn position_is_none_outside_flight_window() {
+        let th = test_threat();
+        assert!(th.position(th.launch_time - 1.0, &mut NoRec).is_none());
+        assert!(th.position(th.impact_time() + 1.0, &mut NoRec).is_none());
+    }
+
+    #[test]
+    fn step_window_brackets_flight() {
+        let th = test_threat();
+        assert_eq!(th.first_step(), 15); // launch 10 + detect 5
+        assert_eq!(th.last_step(), 210); // impact at 210.0
+    }
+
+    #[test]
+    fn intercept_requires_detection_plus_reaction() {
+        let th = test_threat();
+        let w = test_weapon();
+        // Before detection + reaction no intercept regardless of geometry.
+        assert!(!can_intercept(&w, &th, 15, &mut NoRec)); // t=15 < 10+5+3
+        // Impossible after impact.
+        assert!(!can_intercept(&w, &th, 211, &mut NoRec));
+    }
+
+    #[test]
+    fn intercept_respects_altitude_envelope() {
+        let th = test_threat();
+        let w = test_weapon();
+        // At midcourse the threat is at 80 km, far above max_alt 30 km.
+        assert!(!can_intercept(&w, &th, 110, &mut NoRec));
+    }
+
+    #[test]
+    fn descending_threat_is_interceptable_near_the_battery() {
+        let th = test_threat();
+        let w = test_weapon();
+        // Late in the descent the threat is near (90 km, 0) and low.
+        let feasible = (15..=210).filter(|&s| can_intercept(&w, &th, s, &mut NoRec)).count();
+        assert!(feasible > 0, "the canonical test geometry must admit an intercept");
+    }
+
+    #[test]
+    fn pair_scan_emits_maximal_disjoint_intervals() {
+        let th = test_threat();
+        let w = test_weapon();
+        let mut got = Vec::new();
+        intervals_for_pair(3, 4, &th, &w, &mut NoRec, |iv| got.push(iv));
+        assert!(!got.is_empty());
+        for iv in &got {
+            assert_eq!(iv.threat, 3);
+            assert_eq!(iv.weapon, 4);
+            assert!(iv.t_start <= iv.t_end);
+            // Every step inside is feasible.
+            for s in iv.t_start..=iv.t_end {
+                assert!(can_intercept(&w, &th, s, &mut NoRec), "gap inside interval at {s}");
+            }
+            // Maximality on both sides (within the scan window).
+            if iv.t_start > th.first_step() {
+                assert!(!can_intercept(&w, &th, iv.t_start - 1, &mut NoRec));
+            }
+            if iv.t_end < th.last_step() {
+                assert!(!can_intercept(&w, &th, iv.t_end + 1, &mut NoRec));
+            }
+        }
+        // Intervals are ordered and disjoint.
+        for pair in got.windows(2) {
+            assert!(pair[0].t_end + 1 < pair[1].t_start);
+        }
+    }
+
+    #[test]
+    fn out_of_range_weapon_yields_no_intervals() {
+        let th = test_threat();
+        let mut w = test_weapon();
+        w.pos = (1.0e7, 1.0e7); // far away
+        let mut got = Vec::new();
+        intervals_for_pair(0, 0, &th, &w, &mut NoRec, |iv| got.push(iv));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn altitude_window_on_ascent_and_descent_gives_two_intervals() {
+        // A weapon directly under the trajectory midpoint with a narrow
+        // altitude band sees the threat pass through the band twice.
+        let th = Threat {
+            launch: (0.0, 0.0),
+            impact: (100_000.0, 0.0),
+            launch_time: 0.0,
+            flight_time: 400.0,
+            apex_height: 50_000.0,
+            detect_delay: 0.0,
+        };
+        let w = Weapon {
+            pos: (50_000.0, 0.0),
+            interceptor_speed: 10_000.0,
+            max_range: 100_000.0,
+            min_alt: 20_000.0,
+            max_alt: 40_000.0,
+            reaction_time: 0.0,
+        };
+        let mut got = Vec::new();
+        intervals_for_pair(0, 0, &th, &w, &mut NoRec, |iv| got.push(iv));
+        assert_eq!(got.len(), 2, "ascent and descent crossings: {got:?}");
+    }
+
+    #[test]
+    fn recorder_sees_fp_work_per_predicate_call() {
+        let th = test_threat();
+        let w = test_weapon();
+        let mut r = sthreads::OpRecorder::new();
+        can_intercept(&w, &th, 150, &mut r);
+        let c = r.counts();
+        assert!(c.fp_ops > 0, "predicate must record floating-point work");
+        assert!(c.loads > 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Threat Analysis benchmark scenarios.
+//!
+//! The C3IPBS ships five input scenarios of 1000 threats each; the
+//! benchmark time is the total over all five. The original data is not
+//! publicly distributable, so scenarios are generated from a seeded RNG
+//! with the paper's stated statistics: 1000 threats per scenario, a
+//! defended area with a battery of interceptor weapons, and threat
+//! geometry that produces zero, one, or more interception intervals per
+//! (threat, weapon) pair.
+
+use super::model::{Threat, Weapon};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A complete Threat Analysis input: the trajectories of the incoming
+/// threats and the locations/capabilities of the defending weapons.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ThreatScenario {
+    /// Incoming ballistic threats.
+    pub threats: Vec<Threat>,
+    /// Defending interceptor batteries.
+    pub weapons: Vec<Weapon>,
+}
+
+impl ThreatScenario {
+    /// Number of (threat, weapon) pairs the benchmark examines.
+    pub fn n_pairs(&self) -> usize {
+        self.threats.len() * self.weapons.len()
+    }
+}
+
+/// Generation parameters for a synthetic scenario.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThreatScenarioParams {
+    /// Number of incoming threats (the benchmark uses 1000).
+    pub n_threats: usize,
+    /// Number of defending weapons.
+    pub n_weapons: usize,
+    /// RNG seed; equal seeds give identical scenarios.
+    pub seed: u64,
+    /// Side length of the theater square (m). Launches happen near one
+    /// edge, the defended area is near the opposite edge.
+    pub theater_m: f64,
+    /// Window over which threat launches are staggered (s).
+    pub launch_window_s: f64,
+}
+
+impl Default for ThreatScenarioParams {
+    fn default() -> Self {
+        Self {
+            n_threats: 1000,
+            n_weapons: 25,
+            seed: 0,
+            theater_m: 500_000.0,
+            launch_window_s: 1800.0,
+        }
+    }
+}
+
+/// Generate a scenario from `params`, deterministically in the seed.
+pub fn generate(params: ThreatScenarioParams) -> ThreatScenario {
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    let side = params.theater_m;
+
+    // Defended area: a band occupying the far 20% of the theater. Weapons
+    // defend it; threats aim into it.
+    let defended_x = 0.8 * side..side;
+
+    let weapons = (0..params.n_weapons)
+        .map(|_| Weapon {
+            pos: (rng.random_range(defended_x.clone()), rng.random_range(0.0..side)),
+            interceptor_speed: rng.random_range(2_000.0..5_000.0),
+            max_range: rng.random_range(40_000.0..160_000.0),
+            min_alt: rng.random_range(200.0..2_000.0),
+            max_alt: rng.random_range(20_000.0..45_000.0),
+            reaction_time: rng.random_range(2.0..15.0),
+        })
+        .collect();
+
+    let threats = (0..params.n_threats)
+        .map(|_| {
+            let flight_time = rng.random_range(150.0..500.0);
+            Threat {
+                launch: (rng.random_range(0.0..0.2 * side), rng.random_range(0.0..side)),
+                impact: (rng.random_range(defended_x.clone()), rng.random_range(0.0..side)),
+                launch_time: rng.random_range(0.0..params.launch_window_s),
+                flight_time,
+                // Ballistic apex grows with range; jitter keeps pairs from
+                // being interchangeable.
+                apex_height: rng.random_range(40_000.0..220_000.0),
+                detect_delay: rng.random_range(0.05..0.25) * flight_time,
+            }
+        })
+        .collect();
+
+    ThreatScenario { threats, weapons }
+}
+
+/// The five benchmark input scenarios (paper: "total time for all five
+/// input scenarios"). Seeds 1–5; every other parameter at benchmark scale.
+pub fn benchmark_suite() -> Vec<ThreatScenario> {
+    (1..=5)
+        .map(|seed| generate(ThreatScenarioParams { seed, ..ThreatScenarioParams::default() }))
+        .collect()
+}
+
+/// A reduced scenario for tests and quick examples: 40 threats, 6 weapons.
+pub fn small_scenario(seed: u64) -> ThreatScenario {
+    generate(ThreatScenarioParams {
+        n_threats: 40,
+        n_weapons: 6,
+        seed,
+        theater_m: 300_000.0,
+        launch_window_s: 600.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = generate(ThreatScenarioParams { seed: 7, ..Default::default() });
+        let b = generate(ThreatScenarioParams { seed: 7, ..Default::default() });
+        assert_eq!(a.threats.len(), b.threats.len());
+        assert_eq!(a.threats[0], b.threats[0]);
+        assert_eq!(a.weapons[3], b.weapons[3]);
+        let c = generate(ThreatScenarioParams { seed: 8, ..Default::default() });
+        assert_ne!(a.threats[0], c.threats[0], "different seeds must differ");
+    }
+
+    #[test]
+    fn benchmark_suite_has_five_scenarios_of_1000_threats() {
+        let suite = benchmark_suite();
+        assert_eq!(suite.len(), 5);
+        for s in &suite {
+            assert_eq!(s.threats.len(), 1000);
+            assert!(!s.weapons.is_empty());
+        }
+    }
+
+    #[test]
+    fn scenarios_in_suite_are_distinct() {
+        let suite = benchmark_suite();
+        assert_ne!(suite[0].threats[0], suite[1].threats[0]);
+    }
+
+    #[test]
+    fn threat_parameters_are_physical() {
+        let s = generate(ThreatScenarioParams::default());
+        for th in &s.threats {
+            assert!(th.flight_time > 0.0);
+            assert!(th.apex_height > 0.0);
+            assert!(th.detect_delay > 0.0 && th.detect_delay < th.flight_time);
+            assert!(th.launch_time >= 0.0);
+        }
+        for w in &s.weapons {
+            assert!(w.interceptor_speed > 0.0);
+            assert!(w.max_range > 0.0);
+            assert!(w.min_alt < w.max_alt);
+        }
+    }
+
+    #[test]
+    fn small_scenario_is_small() {
+        let s = small_scenario(1);
+        assert_eq!(s.threats.len(), 40);
+        assert_eq!(s.weapons.len(), 6);
+        assert_eq!(s.n_pairs(), 240);
+    }
+}

@@ -1,0 +1,215 @@
+//! Correctness test for Threat Analysis output (the C3IPBS ships one per
+//! problem).
+//!
+//! Verification is independent of which program produced the output: every
+//! reported interval is re-checked against the interception predicate
+//! (feasible at every step inside, infeasible just outside), and the
+//! interval set is checked for completeness against a fresh predicate scan.
+
+use super::model::{can_intercept, Interval};
+use super::scenario::ThreatScenario;
+use crate::counts::NoRec;
+use std::collections::BTreeSet;
+
+/// Why a Threat Analysis output failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// An interval references a threat or weapon index outside the scenario.
+    BadIndex(Interval),
+    /// An interval is empty or reversed (`t_start > t_end`).
+    EmptyInterval(Interval),
+    /// A step inside a reported interval is not actually feasible.
+    InfeasibleStep { interval: Interval, step: u32 },
+    /// A reported interval is not maximal (feasible just outside it).
+    NotMaximal(Interval),
+    /// Two reported intervals for the same pair overlap or touch.
+    Overlap(Interval, Interval),
+    /// A feasible step is not covered by any reported interval.
+    MissedStep { threat: u32, weapon: u32, step: u32 },
+    /// The same interval was reported twice.
+    Duplicate(Interval),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::BadIndex(iv) => write!(f, "interval references out-of-range index: {iv:?}"),
+            VerifyError::EmptyInterval(iv) => write!(f, "empty/reversed interval: {iv:?}"),
+            VerifyError::InfeasibleStep { interval, step } => {
+                write!(f, "step {step} inside {interval:?} is not feasible")
+            }
+            VerifyError::NotMaximal(iv) => write!(f, "interval {iv:?} is not maximal"),
+            VerifyError::Overlap(a, b) => write!(f, "intervals overlap: {a:?}, {b:?}"),
+            VerifyError::MissedStep { threat, weapon, step } => {
+                write!(f, "feasible step {step} for pair ({threat},{weapon}) not reported")
+            }
+            VerifyError::Duplicate(iv) => write!(f, "duplicate interval: {iv:?}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Sort intervals into the canonical (threat, weapon, t_start) order, so
+/// outputs with nondeterministic ordering (the fine-grained program) can be
+/// compared with deterministic ones.
+pub fn canonical(mut intervals: Vec<Interval>) -> Vec<Interval> {
+    intervals.sort_unstable();
+    intervals
+}
+
+/// Full verification of a Threat Analysis output against its scenario:
+/// indices valid, intervals non-empty, feasible throughout, maximal,
+/// mutually disjoint per pair, no duplicates, and *complete* (every
+/// feasible step of every pair is covered).
+pub fn verify_intervals(scenario: &ThreatScenario, intervals: &[Interval]) -> Result<(), VerifyError> {
+    let n_threats = scenario.threats.len() as u32;
+    let n_weapons = scenario.weapons.len() as u32;
+
+    let mut seen = BTreeSet::new();
+    for &iv in intervals {
+        if iv.threat >= n_threats || iv.weapon >= n_weapons {
+            return Err(VerifyError::BadIndex(iv));
+        }
+        if iv.t_start > iv.t_end {
+            return Err(VerifyError::EmptyInterval(iv));
+        }
+        if !seen.insert(iv) {
+            return Err(VerifyError::Duplicate(iv));
+        }
+        let threat = &scenario.threats[iv.threat as usize];
+        let weapon = &scenario.weapons[iv.weapon as usize];
+        for step in iv.t_start..=iv.t_end {
+            if !can_intercept(weapon, threat, step, &mut NoRec) {
+                return Err(VerifyError::InfeasibleStep { interval: iv, step });
+            }
+        }
+        if iv.t_start > threat.first_step()
+            && can_intercept(weapon, threat, iv.t_start - 1, &mut NoRec)
+        {
+            return Err(VerifyError::NotMaximal(iv));
+        }
+        if iv.t_end < threat.last_step() && can_intercept(weapon, threat, iv.t_end + 1, &mut NoRec) {
+            return Err(VerifyError::NotMaximal(iv));
+        }
+    }
+
+    // Disjointness per pair (canonical order makes this a linear scan).
+    let sorted = canonical(intervals.to_vec());
+    for w in sorted.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if a.threat == b.threat && a.weapon == b.weapon && b.t_start <= a.t_end {
+            return Err(VerifyError::Overlap(a, b));
+        }
+    }
+
+    // Completeness: every feasible step is covered by some interval.
+    let mut idx = 0usize;
+    for (ti, threat) in scenario.threats.iter().enumerate() {
+        for (wi, weapon) in scenario.weapons.iter().enumerate() {
+            let mut covered: Vec<(u32, u32)> = Vec::new();
+            while idx < sorted.len()
+                && sorted[idx].threat == ti as u32
+                && sorted[idx].weapon == wi as u32
+            {
+                covered.push((sorted[idx].t_start, sorted[idx].t_end));
+                idx += 1;
+            }
+            for step in threat.first_step()..=threat.last_step() {
+                let feasible = can_intercept(weapon, threat, step, &mut NoRec);
+                let reported = covered.iter().any(|&(a, b)| a <= step && step <= b);
+                if feasible && !reported {
+                    return Err(VerifyError::MissedStep { threat: ti as u32, weapon: wi as u32, step });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threat::scenario::small_scenario;
+    use crate::threat::sequential::threat_analysis_host;
+
+    #[test]
+    fn sequential_output_verifies() {
+        let s = small_scenario(1);
+        let out = threat_analysis_host(&s);
+        verify_intervals(&s, &out).expect("sequential output must verify");
+    }
+
+    #[test]
+    fn canonical_sorts_by_pair_then_time() {
+        let a = Interval { threat: 1, weapon: 0, t_start: 5, t_end: 6 };
+        let b = Interval { threat: 0, weapon: 1, t_start: 9, t_end: 9 };
+        let c = Interval { threat: 0, weapon: 1, t_start: 2, t_end: 3 };
+        assert_eq!(canonical(vec![a, b, c]), vec![c, b, a]);
+    }
+
+    #[test]
+    fn detects_missing_interval() {
+        let s = small_scenario(2);
+        let mut out = threat_analysis_host(&s);
+        assert!(!out.is_empty());
+        out.pop();
+        assert!(matches!(
+            verify_intervals(&s, &out),
+            Err(VerifyError::MissedStep { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_duplicate() {
+        let s = small_scenario(3);
+        let mut out = threat_analysis_host(&s);
+        assert!(!out.is_empty());
+        out.push(out[0]);
+        assert!(matches!(verify_intervals(&s, &out), Err(VerifyError::Duplicate(_))));
+    }
+
+    #[test]
+    fn detects_truncated_interval_as_not_maximal() {
+        let s = small_scenario(4);
+        let mut out = threat_analysis_host(&s);
+        let i = out.iter().position(|iv| iv.t_end > iv.t_start).expect("need a multi-step interval");
+        out[i].t_end -= 1;
+        assert!(matches!(verify_intervals(&s, &out), Err(VerifyError::NotMaximal(_))));
+    }
+
+    #[test]
+    fn detects_bad_index() {
+        let s = small_scenario(5);
+        let out = vec![Interval { threat: 10_000, weapon: 0, t_start: 0, t_end: 0 }];
+        assert!(matches!(verify_intervals(&s, &out), Err(VerifyError::BadIndex(_))));
+    }
+
+    #[test]
+    fn detects_reversed_interval() {
+        let s = small_scenario(5);
+        let out = vec![Interval { threat: 0, weapon: 0, t_start: 5, t_end: 4 }];
+        assert!(matches!(verify_intervals(&s, &out), Err(VerifyError::EmptyInterval(_))));
+    }
+
+    #[test]
+    fn detects_fabricated_interval() {
+        let s = small_scenario(6);
+        let mut out = threat_analysis_host(&s);
+        // Fabricate an interval at a step outside any feasible window for
+        // a pair that has none at step 0 (launches are staggered, so step 0
+        // precedes every detection).
+        out.push(Interval { threat: 0, weapon: 0, t_start: 0, t_end: 0 });
+        let err = verify_intervals(&s, &out).unwrap_err();
+        assert!(
+            matches!(err, VerifyError::InfeasibleStep { .. } | VerifyError::Overlap(..)),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = VerifyError::MissedStep { threat: 1, weapon: 2, step: 3 };
+        assert!(e.to_string().contains("feasible step 3"));
+    }
+}

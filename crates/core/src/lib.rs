@@ -1,0 +1,39 @@
+//! # eval-core — the paper's primary contribution, rebuilt
+//!
+//! The SC'98 paper's contribution is a cross-platform *evaluation*: the
+//! same two C3I benchmarks timed on a DEC Alpha, a quad Pentium Pro, a
+//! 16-processor HP Exemplar, and the 2-processor Tera MTA, under
+//! sequential execution, automatic parallelization, and manual
+//! parallelization. None of those machines exist for us, so this crate
+//! implements the evaluation as a *modeling pipeline*:
+//!
+//! 1. [`workload`] runs the benchmarks from the `c3i` crate under the
+//!    op-counting backend, producing per-logical-thread operation
+//!    profiles for every program variant;
+//! 2. [`models`] turns profiles into predicted wall-clock seconds via
+//!    per-platform analytic machine models (cache-based conventional
+//!    machines; the latency-per-stream Tera MTA model), whose mechanisms
+//!    are validated against the cycle-level simulators (`mta-sim`,
+//!    `smp-sim`);
+//! 3. [`mod@calibrate`] pins the models' free constants to the paper's
+//!    *sequential* rows (Tables 2 and 8) and the three prototype-network /
+//!    overhead anchors the paper itself could not decompose — every other
+//!    table entry is then a prediction;
+//! 4. [`experiments`] regenerates every table and figure of the paper,
+//!    rendered by [`tables`].
+//!
+//! See EXPERIMENTS.md at the repository root for paper-vs-model numbers
+//! for every row.
+
+pub mod calibrate;
+pub mod experiments;
+pub mod models;
+pub mod tables;
+pub mod validate;
+pub mod workload;
+
+pub use calibrate::{calibrate, Calibration, PaperAnchors};
+pub use experiments::{Experiments, Figure};
+pub use models::{ConventionalModel, TeraModel};
+pub use tables::Table;
+pub use workload::{Workload, WorkloadScale};

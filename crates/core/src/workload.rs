@@ -1,0 +1,256 @@
+//! Benchmark operation profiles, measured once per workload and reused by
+//! every experiment configuration.
+//!
+//! The expensive part of the pipeline is running the benchmarks under the
+//! counting backend. Everything the tables sweep — chunk counts (Table 6),
+//! processor counts (Tables 3, 4, 9, 10), scheduling — is an *aggregation*
+//! of per-threat operation counts, so the workload measures per-threat
+//! counts once per scenario and the sweep configurations are assembled in
+//! microseconds.
+//!
+//! Two scales exist: [`WorkloadScale::Paper`] is the benchmark scale the
+//! paper states (5 scenarios, 1000 threats for Threat Analysis, 60 threats
+//! on a 1024² terrain for Terrain Masking); [`WorkloadScale::Reduced`] is
+//! a proportionally smaller workload for tests and quick runs. Because
+//! the calibration fits the workload-size factor to the paper's sequential
+//! rows (see `calibrate`), both scales reproduce the same tables — the
+//! Paper scale is the honest default for the `repro` binary.
+
+use c3i::terrain::{self, TerrainScenario, TerrainScenarioParams};
+use c3i::threat::{self, ThreatScenario, ThreatScenarioParams};
+use c3i::{PhasedProfile, Profile};
+use sthreads::{chunk_range, OpCounts, OpRecorder, ThreadCounts};
+
+/// Workload size selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadScale {
+    /// The paper's stated benchmark scale.
+    Paper,
+    /// A smaller, faster workload with the same structure.
+    Reduced,
+}
+
+/// The block decomposition the paper uses for coarse-grained Terrain
+/// Masking ("ten-by-ten blocking").
+pub const TM_BLOCKS: usize = 10;
+
+/// Measured operation profiles for the full benchmark suite (all
+/// scenarios of both problems).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Which scale was measured.
+    pub scale: WorkloadScale,
+    /// Per-scenario, per-threat Threat Analysis counts.
+    pub ta_per_threat: Vec<Vec<OpCounts>>,
+    /// Per-scenario sequential Threat Analysis profiles (Program 1).
+    pub ta_seq: Vec<Profile>,
+    /// Per-scenario, per-threat coarse Terrain Masking counts (Program 4
+    /// work items, 10×10 blocking).
+    pub tm_per_threat: Vec<Vec<OpCounts>>,
+    /// Per-scenario sequential Terrain Masking profiles (Program 3).
+    pub tm_seq: Vec<Profile>,
+    /// Per-scenario fine-grained Terrain Masking phased profiles.
+    pub tm_fine: Vec<PhasedProfile>,
+    /// Serial (init) op counts per Terrain Masking scenario — the masking
+    /// initialization Program 4 performs before its parallel region.
+    pub tm_serial: Vec<OpCounts>,
+}
+
+fn ta_scenarios(scale: WorkloadScale) -> Vec<ThreatScenario> {
+    match scale {
+        WorkloadScale::Paper => threat::benchmark_suite(),
+        // Reduced keeps the paper's 1000 threats per scenario (the
+        // chunk-balance statistics of Tables 3-6 depend on it) and saves
+        // time on the weapon count instead.
+        WorkloadScale::Reduced => (1..=5)
+            .map(|seed| {
+                threat::generate(ThreatScenarioParams {
+                    n_threats: 1000,
+                    n_weapons: 3,
+                    seed,
+                    theater_m: 400_000.0,
+                    launch_window_s: 900.0,
+                })
+            })
+            .collect(),
+    }
+}
+
+fn tm_scenarios(scale: WorkloadScale) -> Vec<TerrainScenario> {
+    match scale {
+        WorkloadScale::Paper => terrain::benchmark_suite(),
+        // Reduced keeps the paper's *shape*: threat density relative to
+        // grid area stays at the paper's level (so the serial-init share
+        // of the traffic is representative), and regions of influence
+        // still span hundreds of cells (so the fine-grained ring widths
+        // remain wide relative to the MTA's latency).
+        WorkloadScale::Reduced => (1..=5)
+            .map(|seed| {
+                terrain::generate(TerrainScenarioParams {
+                    grid_size: 512,
+                    n_threats: 30,
+                    seed,
+                    ..Default::default()
+                })
+            })
+            .collect(),
+    }
+}
+
+impl Workload {
+    /// Measure the workload at `scale` (runs every benchmark variant under
+    /// the counting backend; seconds of host time at Paper scale).
+    pub fn build(scale: WorkloadScale) -> Self {
+        let ta = ta_scenarios(scale);
+        let tm = tm_scenarios(scale);
+
+        let ta_per_threat: Vec<Vec<OpCounts>> =
+            ta.iter().map(threat::per_threat_counts).collect();
+        let ta_seq: Vec<Profile> =
+            ta.iter().map(|s| threat::threat_analysis_profile(s).1).collect();
+
+        let tm_per_threat: Vec<Vec<OpCounts>> =
+            tm.iter().map(|s| terrain::per_threat_counts(s, TM_BLOCKS)).collect();
+        let tm_seq: Vec<Profile> =
+            tm.iter().map(|s| terrain::terrain_masking_profile(s).1).collect();
+        let tm_fine: Vec<PhasedProfile> =
+            tm.iter().map(|s| terrain::terrain_masking_fine(s).1).collect();
+        let tm_serial: Vec<OpCounts> = tm
+            .iter()
+            .map(|s| {
+                let mut r = OpRecorder::new();
+                r.sstore(s.terrain.len() as u64);
+                r.int(2 * (TM_BLOCKS * TM_BLOCKS) as u64);
+                r.counts()
+            })
+            .collect();
+
+        Self { scale, ta_per_threat, ta_seq, tm_per_threat, tm_seq, tm_fine, tm_serial }
+    }
+
+    /// Number of scenarios in the suite.
+    pub fn n_scenarios(&self) -> usize {
+        self.ta_per_threat.len()
+    }
+
+    /// Per-scenario chunked Threat Analysis profiles (Program 2) with
+    /// `n_chunks` chunks: per-threat counts grouped by the paper's
+    /// blocking expression, plus the spawn prologue.
+    pub fn ta_chunked(&self, n_chunks: usize) -> Vec<Profile> {
+        self.ta_per_threat
+            .iter()
+            .map(|per_threat| {
+                let n = per_threat.len();
+                let chunks: Vec<OpCounts> = (0..n_chunks)
+                    .map(|c| {
+                        let r = chunk_range(c, n, n_chunks);
+                        per_threat[r].iter().copied().sum()
+                    })
+                    .collect();
+                let mut serial = OpRecorder::new();
+                serial.int(2 * n_chunks as u64);
+                serial.spawn(n_chunks as u64);
+                Profile { serial: serial.counts(), parallel: ThreadCounts::new(chunks) }
+            })
+            .collect()
+    }
+
+    /// Per-scenario coarse Terrain Masking profiles (Program 4) with
+    /// `n_threads` self-scheduled workers over 10×10 blocks.
+    pub fn tm_coarse(&self, n_threads: usize) -> Vec<Profile> {
+        self.tm_per_threat
+            .iter()
+            .zip(&self.tm_serial)
+            .map(|(per_threat, &init)| {
+                let mut serial = OpRecorder::new();
+                serial.spawn(n_threads as u64);
+                Profile {
+                    serial: init.merged(&serial.counts()),
+                    parallel: terrain::greedy_bins(per_threat, n_threads),
+                }
+            })
+            .collect()
+    }
+
+    /// Suite-total Threat Analysis sequential operation counts.
+    pub fn ta_total(&self) -> OpCounts {
+        self.ta_seq.iter().map(|p| p.total()).sum()
+    }
+
+    /// Suite-total Terrain Masking sequential operation counts.
+    pub fn tm_total(&self) -> OpCounts {
+        self.tm_seq.iter().map(|p| p.total()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// Build the reduced workload once for every test in this module.
+    pub(crate) fn reduced() -> &'static Workload {
+        static W: OnceLock<Workload> = OnceLock::new();
+        W.get_or_init(|| Workload::build(WorkloadScale::Reduced))
+    }
+
+    #[test]
+    fn suite_has_five_scenarios() {
+        assert_eq!(reduced().n_scenarios(), 5);
+    }
+
+    #[test]
+    fn chunked_profiles_conserve_work() {
+        let w = reduced();
+        for n_chunks in [1usize, 4, 16, 256] {
+            let chunked = w.ta_chunked(n_chunks);
+            for (s, profile) in chunked.iter().enumerate() {
+                let direct: OpCounts = w.ta_per_threat[s].iter().copied().sum();
+                assert_eq!(
+                    profile.parallel.total().instructions(),
+                    direct.instructions(),
+                    "scenario {s}, {n_chunks} chunks"
+                );
+                assert_eq!(profile.n_logical_threads(), n_chunks);
+            }
+        }
+    }
+
+    #[test]
+    fn per_threat_counts_sum_close_to_sequential_profile() {
+        // Program 1 and the per-threat decomposition differ only in loop
+        // bookkeeping.
+        let w = reduced();
+        for s in 0..w.n_scenarios() {
+            let per: u64 = w.ta_per_threat[s].iter().map(|c| c.instructions()).sum();
+            let seq = w.ta_seq[s].total().instructions();
+            let rel = (per as f64 - seq as f64).abs() / seq as f64;
+            assert!(rel < 0.01, "scenario {s}: per-threat {per} vs seq {seq}");
+        }
+    }
+
+    #[test]
+    fn coarse_bins_balance_reasonably() {
+        let w = reduced();
+        for profile in w.tm_coarse(4) {
+            let imb = profile.parallel.imbalance();
+            assert!((1.0..2.0).contains(&imb), "imbalance {imb}");
+        }
+    }
+
+    #[test]
+    fn ta_is_compute_bound_and_tm_memory_bound() {
+        let w = reduced();
+        assert!(w.ta_total().stream_fraction() < 0.02);
+        assert!(w.tm_total().stream_fraction() > 0.15);
+    }
+
+    #[test]
+    fn fine_profiles_have_many_phases() {
+        let w = reduced();
+        for p in &w.tm_fine {
+            assert!(p.n_phases() > 50, "phases: {}", p.n_phases());
+            assert!(p.weighted_width() > 50.0);
+        }
+    }
+}

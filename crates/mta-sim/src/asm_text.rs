@@ -1,0 +1,364 @@
+//! Text assembly syntax for the simulator, so programs can live in files
+//! and be run with the `mta-run` binary.
+//!
+//! One instruction per line; `;` or `#` starts a comment; labels end with
+//! `:`. Registers are `r0`..`r31`; immediates are decimal integers or
+//! (for `lif`) floating-point literals; memory operands are
+//! `offset(rBase)` like classic RISC assemblers.
+//!
+//! ```text
+//! ; sum the integers 1..=n, n passed in r1
+//!         li   r2, 0          ; acc
+//! loop:   beq  r1, r0, done
+//!         add  r2, r2, r1
+//!         addi r1, r1, -1
+//!         jmp  loop
+//! done:   li   r3, 256
+//!         store r2, 0(r3)
+//!         halt
+//! ```
+
+use crate::asm::Assembler;
+use crate::ir::{Program, Reg};
+
+/// A parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let t = tok.trim();
+    let num = t
+        .strip_prefix('r')
+        .or_else(|| t.strip_prefix('R'))
+        .ok_or_else(|| err(line, format!("expected register, got {t:?}")))?;
+    let n: u8 = num.parse().map_err(|_| err(line, format!("bad register {t:?}")))?;
+    if n as usize >= crate::ir::NUM_REGS {
+        return Err(err(line, format!("register {t} out of range")));
+    }
+    Ok(n)
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
+    tok.trim().parse().map_err(|_| err(line, format!("bad integer {tok:?}")))
+}
+
+/// Parse a memory operand `offset(rBase)` (offset optional, default 0).
+fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i64), ParseError> {
+    let t = tok.trim();
+    let Some(open) = t.find('(') else {
+        return Err(err(line, format!("expected offset(rBase), got {t:?}")));
+    };
+    let Some(stripped) = t.ends_with(')').then(|| &t[open + 1..t.len() - 1]) else {
+        return Err(err(line, format!("missing ')' in {t:?}")));
+    };
+    let off_str = &t[..open];
+    let offset = if off_str.is_empty() { 0 } else { parse_imm(off_str, line)? };
+    Ok((parse_reg(stripped, line)?, offset))
+}
+
+/// Assemble a text program into a validated [`Program`].
+pub fn assemble_text(source: &str) -> Result<Program, ParseError> {
+    let mut a = Assembler::new();
+    for (i, raw) in source.lines().enumerate() {
+        let lineno = i + 1;
+        // Strip comments.
+        let mut line = raw;
+        for marker in [';', '#'] {
+            if let Some(pos) = line.find(marker) {
+                line = &line[..pos];
+            }
+        }
+        let mut rest = line.trim();
+        // Labels (possibly several) at line start.
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break; // not a label — let the mnemonic parser complain
+            }
+            a.label(label);
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let (mnemonic, args_str) = match rest.find(char::is_whitespace) {
+            Some(pos) => (&rest[..pos], rest[pos..].trim()),
+            None => (rest, ""),
+        };
+        let args: Vec<&str> =
+            if args_str.is_empty() { Vec::new() } else { args_str.split(',').collect() };
+        let want = |n: usize| -> Result<(), ParseError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(err(lineno, format!("{mnemonic} expects {n} operands, got {}", args.len())))
+            }
+        };
+
+        macro_rules! r {
+            ($i:expr) => {
+                parse_reg(args[$i], lineno)?
+            };
+        }
+
+        match mnemonic.to_ascii_lowercase().as_str() {
+            "li" => {
+                want(2)?;
+                a.li(r!(0), parse_imm(args[1], lineno)?);
+            }
+            "lif" => {
+                want(2)?;
+                let v: f64 = args[1]
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad float {:?}", args[1])))?;
+                a.lif(r!(0), v);
+            }
+            "mov" => {
+                want(2)?;
+                a.mov(r!(0), r!(1));
+            }
+            "add" => {
+                want(3)?;
+                a.add(r!(0), r!(1), r!(2));
+            }
+            "sub" => {
+                want(3)?;
+                a.sub(r!(0), r!(1), r!(2));
+            }
+            "mul" => {
+                want(3)?;
+                a.mul(r!(0), r!(1), r!(2));
+            }
+            "div" => {
+                want(3)?;
+                a.div(r!(0), r!(1), r!(2));
+            }
+            "addi" => {
+                want(3)?;
+                a.addi(r!(0), r!(1), parse_imm(args[2], lineno)?);
+            }
+            "slt" => {
+                want(3)?;
+                a.slt(r!(0), r!(1), r!(2));
+            }
+            "fadd" => {
+                want(3)?;
+                a.fadd(r!(0), r!(1), r!(2));
+            }
+            "fsub" => {
+                want(3)?;
+                a.fsub(r!(0), r!(1), r!(2));
+            }
+            "fmul" => {
+                want(3)?;
+                a.fmul(r!(0), r!(1), r!(2));
+            }
+            "fdiv" => {
+                want(3)?;
+                a.fdiv(r!(0), r!(1), r!(2));
+            }
+            "fmax" => {
+                want(3)?;
+                a.fmax(r!(0), r!(1), r!(2));
+            }
+            "fmin" => {
+                want(3)?;
+                a.fmin(r!(0), r!(1), r!(2));
+            }
+            "itof" => {
+                want(2)?;
+                a.itof(r!(0), r!(1));
+            }
+            "load" => {
+                want(2)?;
+                let (base, off) = parse_mem(args[1], lineno)?;
+                a.load(r!(0), base, off);
+            }
+            "store" => {
+                want(2)?;
+                let (base, off) = parse_mem(args[1], lineno)?;
+                a.store(r!(0), base, off);
+            }
+            "loadsync" => {
+                want(2)?;
+                let (base, off) = parse_mem(args[1], lineno)?;
+                a.load_sync(r!(0), base, off);
+            }
+            "storesync" => {
+                want(2)?;
+                let (base, off) = parse_mem(args[1], lineno)?;
+                a.store_sync(r!(0), base, off);
+            }
+            "readff" => {
+                want(2)?;
+                let (base, off) = parse_mem(args[1], lineno)?;
+                a.read_ff(r!(0), base, off);
+            }
+            "put" => {
+                want(2)?;
+                let (base, off) = parse_mem(args[1], lineno)?;
+                a.put(r!(0), base, off);
+            }
+            "fetchadd" => {
+                want(3)?;
+                let (base, off) = parse_mem(args[1], lineno)?;
+                a.fetch_add(r!(0), base, off, r!(2));
+            }
+            "jmp" => {
+                want(1)?;
+                a.jmp_l(args[0].trim());
+            }
+            "beq" => {
+                want(3)?;
+                a.beq_l(r!(0), r!(1), args[2].trim());
+            }
+            "bne" => {
+                want(3)?;
+                a.bne_l(r!(0), r!(1), args[2].trim());
+            }
+            "blt" => {
+                want(3)?;
+                a.blt_l(r!(0), r!(1), args[2].trim());
+            }
+            "bge" => {
+                want(3)?;
+                a.bge_l(r!(0), r!(1), args[2].trim());
+            }
+            "fork" => {
+                want(2)?;
+                a.fork_l(args[0].trim(), r!(1));
+            }
+            "halt" => {
+                want(0)?;
+                a.halt();
+            }
+            other => return Err(err(lineno, format!("unknown mnemonic {other:?}"))),
+        }
+    }
+    a.assemble().map_err(|message| err(0, message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Machine, MtaConfig};
+
+    fn run(src: &str, arg: u64) -> Machine {
+        let program = assemble_text(src).expect("assembly failed");
+        let mut m = Machine::new(MtaConfig { mem_words: 1 << 12, ..MtaConfig::tera(1) }, program)
+            .expect("machine");
+        m.spawn(0, arg).unwrap();
+        let r = m.run(10_000_000);
+        assert!(r.completed, "{r:?}");
+        m
+    }
+
+    #[test]
+    fn sum_program_assembles_and_runs() {
+        let src = r#"
+            ; sum 1..=n (n in r1) into mem[256]
+                    li    r2, 0
+            loop:   beq   r1, r0, done
+                    add   r2, r2, r1
+                    addi  r1, r1, -1
+                    jmp   loop
+            done:   li    r3, 256
+                    store r2, 0(r3)
+                    halt
+        "#;
+        let m = run(src, 10);
+        assert_eq!(m.memory().load(256), 55);
+    }
+
+    #[test]
+    fn memory_operands_parse_offsets() {
+        let src = r#"
+            li    r2, 100
+            li    r3, 42
+            store r3, 5(r2)
+            load  r4, 5(r2)
+            store r4, (r2)
+            halt
+        "#;
+        let m = run(src, 0);
+        assert_eq!(m.memory().load(105), 42);
+        assert_eq!(m.memory().load(100), 42);
+    }
+
+    #[test]
+    fn fork_and_fetchadd_work_from_text() {
+        let src = r#"
+                    li   r2, 0
+                    li   r3, 4
+            spawn:  bge  r2, r3, fed
+                    fork worker, r2
+                    addi r2, r2, 1
+                    jmp  spawn
+            fed:    halt
+            worker: li   r4, 300
+                    li   r5, 1
+                    fetchadd r6, 0(r4), r5
+                    halt
+        "#;
+        let m = run(src, 0);
+        assert_eq!(m.memory().load(300), 4);
+    }
+
+    #[test]
+    fn float_literals_round_trip() {
+        let src = r#"
+            lif  r2, 1.5
+            lif  r3, 2.25
+            fadd r4, r2, r3
+            li   r5, 64
+            store r4, 0(r5)
+            halt
+        "#;
+        let m = run(src, 0);
+        assert_eq!(m.memory().load_f64(64), 3.75);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble_text("li r2, 1\nbogus r1, r2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+
+        let e = assemble_text("li r99, 1\nhalt\n").unwrap_err();
+        assert_eq!(e.line, 1);
+
+        let e = assemble_text("load r2, 5\nhalt\n").unwrap_err();
+        assert!(e.message.contains("offset(rBase)"));
+    }
+
+    #[test]
+    fn undefined_label_is_reported() {
+        let e = assemble_text("jmp nowhere\nhalt\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let p = assemble_text("# header\n\n  ; nothing\nhalt ; trailing\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! `mta-run` — assemble and execute a text assembly program on the
+//! simulated Tera MTA.
+//!
+//! ```text
+//! mta-run PROG.asm [--procs N] [--streams N] [--lookahead N] [--arg V]
+//!                  [--empty ADDR]... [--dump ADDR..ADDR]
+//! ```
+
+use mta_sim::asm_text::assemble_text;
+use mta_sim::{Machine, MtaConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    let mut cfg = MtaConfig::tera(1);
+    let mut arg_val = 0u64;
+    let mut empties: Vec<usize> = Vec::new();
+    let mut dump: Option<(usize, usize)> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--procs" => cfg.n_processors = args.next().unwrap().parse().unwrap(),
+            "--streams" => cfg.streams_per_processor = args.next().unwrap().parse().unwrap(),
+            "--lookahead" => cfg.lookahead = args.next().unwrap().parse().unwrap(),
+            "--arg" => arg_val = args.next().unwrap().parse().unwrap(),
+            "--empty" => empties.push(args.next().unwrap().parse().unwrap()),
+            "--dump" => {
+                let spec = args.next().unwrap();
+                let (a, b) = spec.split_once("..").expect("--dump A..B");
+                dump = Some((a.parse().unwrap(), b.parse().unwrap()));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: mta-run PROG.asm [--procs N] [--streams N] [--lookahead N] \
+                     [--arg V] [--empty ADDR]... [--dump A..B]"
+                );
+                return;
+            }
+            p => path = Some(p.to_string()),
+        }
+    }
+    let path = path.expect("usage: mta-run PROG.asm (see --help)");
+    let source = std::fs::read_to_string(&path).expect("read program");
+    let program = match assemble_text(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{path}:{e}");
+            std::process::exit(1);
+        }
+    };
+    let mut m = Machine::new(cfg.clone(), program).expect("machine");
+    for a in empties {
+        m.memory_mut().set_empty(a);
+    }
+    m.spawn(0, arg_val).expect("spawn");
+    let r = m.run(10_000_000_000);
+    println!(
+        "cycles {} ({:.6} s at {} MHz) | instructions {} | utilization {:.1}% | forks {} | sync blocks {}",
+        r.cycles,
+        r.seconds(cfg.clock_mhz),
+        cfg.clock_mhz,
+        r.stats.instructions(),
+        100.0 * r.utilization(),
+        r.stats.forks,
+        r.stats.sync_blocks,
+    );
+    if r.deadlocked {
+        println!("DEADLOCK: all live streams blocked on full/empty bits");
+    }
+    for f in &r.faults {
+        println!("FAULT: {f}");
+    }
+    if let Some((a, b)) = dump {
+        for addr in a..b {
+            println!("mem[{addr}] = {} (f64 {:e})", m.memory().load(addr), m.memory().load_f64(addr));
+        }
+    }
+    if !r.completed && !r.deadlocked {
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,1229 @@
+//! The whole machine: processors + interleaved memory + thread placement,
+//! stepped cycle by cycle (with fast-forward over globally idle gaps).
+//!
+//! Timing model (defaults chosen to match the published MTA numbers and
+//! the paper's observations):
+//!
+//! * every instruction occupies its stream for `issue_latency` = 21 cycles
+//!   (the pipeline depth — a lone stream issues at most once per 21
+//!   cycles ⇒ ≈5 % single-thread utilization, §5/§7 of the paper);
+//! * memory operations additionally pay `mem_extra_latency` network/memory
+//!   cycles plus bank queueing (64-way interleaved, `bank_service` cycles
+//!   per access), ≈70 cycles uncontended — maskable only by other streams;
+//! * synchronized operations on a word in the wrong full/empty state park
+//!   the stream on the word's waiter list; the complementary transition
+//!   re-readies it `wake_latency` cycles later (synchronization itself is
+//!   a one-instruction, few-cycle affair — the MTA strength the paper
+//!   highlights);
+//! * `Fork` creates a hardware stream in `fork_cost` = 2 cycles while
+//!   contexts are free, then falls back to queued software threads at
+//!   `soft_spawn_cost` (the paper's 50–100 cycle software threads).
+
+use crate::ir::{Instr, Program};
+use crate::memory::Memory;
+use crate::processor::{Processor, Stream};
+use std::collections::{HashMap, VecDeque};
+
+/// Machine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MtaConfig {
+    /// Number of processors (the SDSC machine had 2; up to 256).
+    pub n_processors: usize,
+    /// Hardware stream contexts per processor (128 on the MTA).
+    pub streams_per_processor: usize,
+    /// Clock rate, for converting cycles to seconds (255 MHz).
+    pub clock_mhz: f64,
+    /// Cycles between consecutive issues of one stream (pipeline depth).
+    pub issue_latency: u64,
+    /// Extra network + memory-pipeline cycles for a memory operation
+    /// beyond bank service.
+    pub mem_extra_latency: u64,
+    /// Cycles a bank is busy per access.
+    pub bank_service: u64,
+    /// Number of interleaved memory banks.
+    pub n_banks: usize,
+    /// Extra cycles charged to a `Fork` that gets a hardware context.
+    pub fork_cost: u64,
+    /// Delay before a queued software thread starts on a freed context.
+    pub soft_spawn_cost: u64,
+    /// Delay from a full/empty transition to a parked stream re-issuing.
+    pub wake_latency: u64,
+    /// Memory size in words.
+    pub mem_words: usize,
+    /// Explicit-dependence lookahead: how many memory operations one
+    /// stream may have outstanding while continuing to issue independent
+    /// instructions. `1` disables lookahead (every instruction waits for
+    /// the previous one — the behaviour the paper's measurements imply
+    /// for the compiled benchmark code); the MTA hardware supported up
+    /// to 8, encoded by the compiler in each instruction.
+    pub lookahead: u64,
+}
+
+impl MtaConfig {
+    /// The published Tera MTA parameters with `n_processors` processors.
+    pub fn tera(n_processors: usize) -> Self {
+        Self {
+            n_processors,
+            streams_per_processor: 128,
+            clock_mhz: 255.0,
+            issue_latency: 21,
+            mem_extra_latency: 66,
+            bank_service: 4,
+            n_banks: 64,
+            fork_cost: 2,
+            soft_spawn_cost: 75,
+            wake_latency: 3,
+            mem_words: 1 << 22,
+            lookahead: 1,
+        }
+    }
+
+    /// Uncontended memory-operation latency (bank service + network).
+    pub fn mem_latency(&self) -> u64 {
+        self.bank_service + self.mem_extra_latency
+    }
+}
+
+impl Default for MtaConfig {
+    fn default() -> Self {
+        Self::tera(1)
+    }
+}
+
+/// Statistics of one run.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct RunStats {
+    /// Instructions issued, per processor.
+    pub issued_per_processor: Vec<u64>,
+    /// Hardware forks performed.
+    pub forks: u64,
+    /// Logical threads that had to wait for a context (software threads).
+    pub soft_spawns: u64,
+    /// Times a synchronized operation found the wrong full/empty state and
+    /// parked.
+    pub sync_blocks: u64,
+    /// Streams woken by full/empty transitions.
+    pub wakes: u64,
+    /// High-water mark of live streams, per processor.
+    pub peak_live_per_processor: Vec<usize>,
+    /// Total memory accesses and bank queue cycles.
+    pub mem_accesses: u64,
+    /// Cycles accesses spent queued behind busy banks.
+    pub bank_queue_cycles: u64,
+    /// Instructions issued by kind: ALU/branch, plain memory,
+    /// synchronized memory, thread control (fork/halt).
+    pub mix: InstrMix,
+}
+
+/// Issued-instruction mix.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct InstrMix {
+    /// ALU, float, move, and branch instructions.
+    pub alu: u64,
+    /// Plain loads and stores.
+    pub memory: u64,
+    /// Full/empty-synchronized operations (incl. fetch-add, put).
+    pub sync: u64,
+    /// Forks and halts.
+    pub thread: u64,
+}
+
+impl InstrMix {
+    /// Fraction of issued instructions that touch memory (plain + sync).
+    pub fn mem_fraction(&self) -> f64 {
+        let total = self.alu + self.memory + self.sync + self.thread;
+        if total == 0 {
+            0.0
+        } else {
+            (self.memory + self.sync) as f64 / total as f64
+        }
+    }
+}
+
+impl RunStats {
+    /// Total instructions issued across processors.
+    pub fn instructions(&self) -> u64 {
+        self.issued_per_processor.iter().sum()
+    }
+}
+
+/// Outcome of [`Machine::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Cycles elapsed until the last stream halted (or the run aborted).
+    pub cycles: u64,
+    /// Whether every stream halted normally.
+    pub completed: bool,
+    /// Whether the run aborted because all live streams were parked on
+    /// full/empty bits with nothing to wake them.
+    pub deadlocked: bool,
+    /// Streams killed by faults (address/divide errors), with messages.
+    pub faults: Vec<String>,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+impl RunResult {
+    /// Machine-wide processor utilization: issued instructions over issue
+    /// slots (`cycles × processors`).
+    pub fn utilization(&self) -> f64 {
+        let n = self.stats.issued_per_processor.len() as f64;
+        if self.cycles == 0 || n == 0.0 {
+            return 0.0;
+        }
+        self.stats.instructions() as f64 / (self.cycles as f64 * n)
+    }
+
+    /// Wall-clock seconds at `clock_mhz`.
+    pub fn seconds(&self, clock_mhz: f64) -> f64 {
+        self.cycles as f64 / (clock_mhz * 1e6)
+    }
+}
+
+#[derive(Debug, Default)]
+struct WaitLists {
+    on_full: VecDeque<(usize, usize)>,
+    on_empty: VecDeque<(usize, usize)>,
+}
+
+/// The simulated machine.
+pub struct Machine {
+    config: MtaConfig,
+    program: Program,
+    memory: Memory,
+    processors: Vec<Processor>,
+    waiters: HashMap<usize, WaitLists>,
+    pending_threads: VecDeque<(usize, u64)>,
+    next_place: usize,
+    cycle: u64,
+    faults: Vec<String>,
+    forks: u64,
+    soft_spawns: u64,
+    sync_blocks: u64,
+    wakes: u64,
+    mix: InstrMix,
+}
+
+impl Machine {
+    /// Build a machine for `program` under `config`. The program is
+    /// validated.
+    pub fn new(config: MtaConfig, program: Program) -> Result<Self, String> {
+        program.validate()?;
+        let memory = Memory::new(config.mem_words, config.n_banks, config.bank_service);
+        let processors =
+            (0..config.n_processors).map(|_| Processor::new(config.streams_per_processor)).collect();
+        Ok(Self {
+            config,
+            program,
+            memory,
+            processors,
+            waiters: HashMap::new(),
+            pending_threads: VecDeque::new(),
+            next_place: 0,
+            cycle: 0,
+            faults: Vec::new(),
+            forks: 0,
+            soft_spawns: 0,
+            sync_blocks: 0,
+            wakes: 0,
+            mix: InstrMix::default(),
+        })
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MtaConfig {
+        &self.config
+    }
+
+    /// Read access to memory (for initializing inputs / reading results).
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Write access to memory (for initializing inputs).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    /// Start a stream at instruction `entry` with `r1 = arg`, placed
+    /// round-robin. Returns an error if every context on every processor
+    /// is busy (initial spawns should never queue).
+    pub fn spawn(&mut self, entry: usize, arg: u64) -> Result<(), String> {
+        if entry >= self.program.len() {
+            return Err(format!("spawn entry {entry} out of range"));
+        }
+        let n = self.processors.len();
+        for i in 0..n {
+            let p = (self.next_place + i) % n;
+            if self.processors[p].has_free_slot() {
+                self.processors[p].install(Stream::new(entry, arg), self.cycle);
+                self.next_place = (p + 1) % n;
+                return Ok(());
+            }
+        }
+        Err("no free stream context for initial spawn".to_string())
+    }
+
+    fn live_total(&self) -> usize {
+        self.processors.iter().map(|p| p.live).sum()
+    }
+
+    /// Run until every stream halts, a deadlock is detected, or
+    /// `max_cycles` elapses.
+    pub fn run(&mut self, max_cycles: u64) -> RunResult {
+        let mut completed = false;
+        let mut deadlocked = false;
+        while self.live_total() > 0 || !self.pending_threads.is_empty() {
+            if self.cycle >= max_cycles {
+                break;
+            }
+            let mut any = false;
+            for p in 0..self.processors.len() {
+                // Try ready streams until one actually issues; streams
+                // blocked on lookahead dependences are rescheduled at
+                // their dependence time and do not consume the issue slot.
+                while let Some(slot) = self.processors[p].next_to_issue(self.cycle) {
+                    if self.try_issue(p, slot) {
+                        any = true;
+                        break;
+                    }
+                }
+            }
+            if any {
+                self.cycle += 1;
+                continue;
+            }
+            // Nothing issued: fast-forward to the next event, or detect
+            // deadlock (only parked streams remain).
+            let now = self.cycle;
+            let next = self
+                .processors
+                .iter_mut()
+                .filter_map(|p| p.next_event(now))
+                .min();
+            match next {
+                Some(t) => self.cycle = t.max(now + 1),
+                None => {
+                    deadlocked = true;
+                    break;
+                }
+            }
+        }
+        if self.live_total() == 0 && self.pending_threads.is_empty() {
+            completed = true;
+        }
+        RunResult {
+            cycles: self.cycle,
+            completed,
+            deadlocked,
+            faults: self.faults.clone(),
+            stats: RunStats {
+                issued_per_processor: self.processors.iter().map(|p| p.issued).collect(),
+                forks: self.forks,
+                soft_spawns: self.soft_spawns,
+                sync_blocks: self.sync_blocks,
+                wakes: self.wakes,
+                peak_live_per_processor: self.processors.iter().map(|p| p.peak_live).collect(),
+                mem_accesses: self.memory.stats().accesses,
+                bank_queue_cycles: self.memory.stats().bank_queue_cycles,
+                mix: self.mix,
+            },
+        }
+    }
+
+    /// Kill the stream with a fault message.
+    fn fault(&mut self, p: usize, slot: usize, msg: String) {
+        self.faults.push(format!("proc {p} slot {slot}: {msg}"));
+        self.processors[p].remove(slot);
+        self.start_pending_if_any(p);
+    }
+
+    fn start_pending_if_any(&mut self, p: usize) {
+        if let Some((entry, arg)) = self.pending_threads.pop_front() {
+            let at = self.cycle + self.config.soft_spawn_cost;
+            self.processors[p].install(Stream::new(entry, arg), at);
+        }
+    }
+
+    fn wake_on_full(&mut self, addr: usize) {
+        if let Some(w) = self.waiters.get_mut(&addr) {
+            let at = self.cycle + self.config.wake_latency;
+            while let Some((wp, wslot)) = w.on_full.pop_front() {
+                self.processors[wp].make_ready_at(wslot, at);
+                self.wakes += 1;
+            }
+        }
+    }
+
+    fn wake_on_empty(&mut self, addr: usize) {
+        if let Some(w) = self.waiters.get_mut(&addr) {
+            let at = self.cycle + self.config.wake_latency;
+            while let Some((wp, wslot)) = w.on_empty.pop_front() {
+                self.processors[wp].make_ready_at(wslot, at);
+                self.wakes += 1;
+            }
+        }
+    }
+
+    /// Memory-op completion time: bank queueing + service + network.
+    fn mem_ready_at(&mut self, addr: usize) -> u64 {
+        let t = self.memory.schedule_access(addr, self.cycle);
+        (t.done + self.config.mem_extra_latency).max(self.cycle + self.config.issue_latency)
+    }
+
+    /// Check lookahead dependences for the stream's next instruction and
+    /// either execute it (true) or reschedule the stream at its
+    /// dependence-ready time (false).
+    fn try_issue(&mut self, p: usize, slot: usize) -> bool {
+        if self.config.lookahead > 1 {
+            let pc = self.processors[p].stream(slot).pc;
+            if let Some(&instr) = self.program.code.get(pc) {
+                let now = self.cycle;
+                let lookahead = self.config.lookahead as usize;
+                let s = self.processors[p].stream_mut(slot);
+                s.prune_outstanding(now);
+                let mut wait = 0u64;
+                for r in instr.src_regs().into_iter().flatten() {
+                    wait = wait.max(s.reg_ready_at[r as usize]);
+                }
+                if let Some(rd) = instr.dst_reg() {
+                    wait = wait.max(s.reg_ready_at[rd as usize]);
+                }
+                if instr.is_sync() {
+                    // Synchronized operations act as a memory fence.
+                    wait = wait.max(s.latest_outstanding(now));
+                } else if instr.is_memory() && s.outstanding.len() >= lookahead {
+                    wait = wait.max(s.earliest_outstanding(now));
+                }
+                if wait > now {
+                    self.processors[p].make_ready_at(slot, wait);
+                    return false;
+                }
+            }
+        }
+        self.execute(p, slot);
+        true
+    }
+
+    /// Execute one instruction of the stream in `(p, slot)` at the current
+    /// cycle.
+    fn execute(&mut self, p: usize, slot: usize) {
+        let pc = self.processors[p].stream(slot).pc;
+        let Some(&instr) = self.program.code.get(pc) else {
+            self.fault(p, slot, format!("pc {pc} ran off the end of the program"));
+            return;
+        };
+        self.processors[p].issued += 1;
+        if instr.is_sync() {
+            self.mix.sync += 1;
+        } else if instr.is_memory() {
+            self.mix.memory += 1;
+        } else if matches!(instr, Instr::Fork { .. } | Instr::Halt) {
+            self.mix.thread += 1;
+        } else {
+            self.mix.alu += 1;
+        }
+
+        // Address computation for memory ops, with bounds checking.
+        let addr_of = |m: &Machine, base: crate::ir::Reg, offset: i64| -> Result<usize, String> {
+            let a = m.processors[p].stream(slot).reg(base) as i64 + offset;
+            if a < 0 {
+                return Err(format!("negative address {a}"));
+            }
+            let a = a as usize;
+            m.memory.check(a)?;
+            Ok(a)
+        };
+
+        let issue_done = self.cycle + self.config.issue_latency;
+        let mut ready_at = issue_done;
+        let mut next_pc = pc + 1;
+        let mut halted = false;
+        let mut parked = false;
+
+        macro_rules! alu {
+            ($rd:expr, $val:expr) => {{
+                let v = $val;
+                self.processors[p].stream_mut(slot).set_reg($rd, v);
+            }};
+        }
+
+        match instr {
+            Instr::Li { rd, imm } => alu!(rd, imm as u64),
+            Instr::Mov { rd, rs } => {
+                let v = self.processors[p].stream(slot).reg(rs);
+                alu!(rd, v)
+            }
+            Instr::Add { rd, ra, rb } => {
+                let s = self.processors[p].stream(slot);
+                let v = s.reg(ra).wrapping_add(s.reg(rb));
+                alu!(rd, v)
+            }
+            Instr::Sub { rd, ra, rb } => {
+                let s = self.processors[p].stream(slot);
+                let v = s.reg(ra).wrapping_sub(s.reg(rb));
+                alu!(rd, v)
+            }
+            Instr::Mul { rd, ra, rb } => {
+                let s = self.processors[p].stream(slot);
+                let v = s.reg(ra).wrapping_mul(s.reg(rb));
+                alu!(rd, v)
+            }
+            Instr::Div { rd, ra, rb } => {
+                let s = self.processors[p].stream(slot);
+                let (a, b) = (s.reg(ra) as i64, s.reg(rb) as i64);
+                if b == 0 {
+                    self.fault(p, slot, "divide by zero".into());
+                    return;
+                }
+                alu!(rd, a.wrapping_div(b) as u64)
+            }
+            Instr::Addi { rd, ra, imm } => {
+                let v = self.processors[p].stream(slot).reg(ra).wrapping_add(imm as u64);
+                alu!(rd, v)
+            }
+            Instr::Slt { rd, ra, rb } => {
+                let s = self.processors[p].stream(slot);
+                let v = ((s.reg(ra) as i64) < (s.reg(rb) as i64)) as u64;
+                alu!(rd, v)
+            }
+            Instr::FAdd { rd, ra, rb } => {
+                let s = self.processors[p].stream(slot);
+                let v = s.reg_f(ra) + s.reg_f(rb);
+                self.processors[p].stream_mut(slot).set_reg_f(rd, v);
+            }
+            Instr::FSub { rd, ra, rb } => {
+                let s = self.processors[p].stream(slot);
+                let v = s.reg_f(ra) - s.reg_f(rb);
+                self.processors[p].stream_mut(slot).set_reg_f(rd, v);
+            }
+            Instr::FMul { rd, ra, rb } => {
+                let s = self.processors[p].stream(slot);
+                let v = s.reg_f(ra) * s.reg_f(rb);
+                self.processors[p].stream_mut(slot).set_reg_f(rd, v);
+            }
+            Instr::FDiv { rd, ra, rb } => {
+                let s = self.processors[p].stream(slot);
+                let v = s.reg_f(ra) / s.reg_f(rb);
+                self.processors[p].stream_mut(slot).set_reg_f(rd, v);
+            }
+            Instr::FMax { rd, ra, rb } => {
+                let s = self.processors[p].stream(slot);
+                let v = s.reg_f(ra).max(s.reg_f(rb));
+                self.processors[p].stream_mut(slot).set_reg_f(rd, v);
+            }
+            Instr::FMin { rd, ra, rb } => {
+                let s = self.processors[p].stream(slot);
+                let v = s.reg_f(ra).min(s.reg_f(rb));
+                self.processors[p].stream_mut(slot).set_reg_f(rd, v);
+            }
+            Instr::FLt { rd, ra, rb } => {
+                let s = self.processors[p].stream(slot);
+                let v = (s.reg_f(ra) < s.reg_f(rb)) as u64;
+                alu!(rd, v)
+            }
+            Instr::IToF { rd, rs } => {
+                let v = self.processors[p].stream(slot).reg(rs) as i64 as f64;
+                self.processors[p].stream_mut(slot).set_reg_f(rd, v);
+            }
+            Instr::FToI { rd, rs } => {
+                let v = self.processors[p].stream(slot).reg_f(rs) as i64 as u64;
+                alu!(rd, v)
+            }
+            Instr::Jmp { target } => next_pc = target,
+            Instr::Beq { ra, rb, target } => {
+                let s = self.processors[p].stream(slot);
+                if s.reg(ra) == s.reg(rb) {
+                    next_pc = target;
+                }
+            }
+            Instr::Bne { ra, rb, target } => {
+                let s = self.processors[p].stream(slot);
+                if s.reg(ra) != s.reg(rb) {
+                    next_pc = target;
+                }
+            }
+            Instr::Blt { ra, rb, target } => {
+                let s = self.processors[p].stream(slot);
+                if (s.reg(ra) as i64) < (s.reg(rb) as i64) {
+                    next_pc = target;
+                }
+            }
+            Instr::Bge { ra, rb, target } => {
+                let s = self.processors[p].stream(slot);
+                if (s.reg(ra) as i64) >= (s.reg(rb) as i64) {
+                    next_pc = target;
+                }
+            }
+            Instr::Load { rd, base, offset } => match addr_of(self, base, offset) {
+                Ok(addr) => {
+                    let v = self.memory.load(addr);
+                    let completion = self.mem_ready_at(addr);
+                    let s = self.processors[p].stream_mut(slot);
+                    s.set_reg(rd, v);
+                    if self.config.lookahead > 1 {
+                        // Pipelined: the stream keeps issuing; the result
+                        // register is scoreboarded until the data returns.
+                        if rd != 0 {
+                            s.reg_ready_at[rd as usize] = completion;
+                        }
+                        s.outstanding.push(completion);
+                    } else {
+                        ready_at = completion;
+                    }
+                }
+                Err(e) => {
+                    self.fault(p, slot, e);
+                    return;
+                }
+            },
+            Instr::Store { rs, base, offset } => match addr_of(self, base, offset) {
+                Ok(addr) => {
+                    let v = self.processors[p].stream(slot).reg(rs);
+                    self.memory.store(addr, v);
+                    let completion = self.mem_ready_at(addr);
+                    if self.config.lookahead > 1 {
+                        self.processors[p].stream_mut(slot).outstanding.push(completion);
+                    } else {
+                        ready_at = completion;
+                    }
+                }
+                Err(e) => {
+                    self.fault(p, slot, e);
+                    return;
+                }
+            },
+            Instr::LoadSync { rd, base, offset } => match addr_of(self, base, offset) {
+                Ok(addr) => {
+                    ready_at = self.mem_ready_at(addr);
+                    match self.memory.try_take(addr) {
+                        Some(v) => {
+                            self.processors[p].stream_mut(slot).set_reg(rd, v);
+                            self.wake_on_empty(addr);
+                        }
+                        None => {
+                            self.sync_blocks += 1;
+                            self.waiters.entry(addr).or_default().on_full.push_back((p, slot));
+                            parked = true;
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.fault(p, slot, e);
+                    return;
+                }
+            },
+            Instr::StoreSync { rs, base, offset } => match addr_of(self, base, offset) {
+                Ok(addr) => {
+                    ready_at = self.mem_ready_at(addr);
+                    let v = self.processors[p].stream(slot).reg(rs);
+                    if self.memory.try_put_sync(addr, v) {
+                        self.wake_on_full(addr);
+                    } else {
+                        self.sync_blocks += 1;
+                        self.waiters.entry(addr).or_default().on_empty.push_back((p, slot));
+                        parked = true;
+                    }
+                }
+                Err(e) => {
+                    self.fault(p, slot, e);
+                    return;
+                }
+            },
+            Instr::ReadFF { rd, base, offset } => match addr_of(self, base, offset) {
+                Ok(addr) => {
+                    ready_at = self.mem_ready_at(addr);
+                    match self.memory.try_read_ff(addr) {
+                        Some(v) => self.processors[p].stream_mut(slot).set_reg(rd, v),
+                        None => {
+                            self.sync_blocks += 1;
+                            self.waiters.entry(addr).or_default().on_full.push_back((p, slot));
+                            parked = true;
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.fault(p, slot, e);
+                    return;
+                }
+            },
+            Instr::Put { rs, base, offset } => match addr_of(self, base, offset) {
+                Ok(addr) => {
+                    ready_at = self.mem_ready_at(addr);
+                    let v = self.processors[p].stream(slot).reg(rs);
+                    self.memory.put(addr, v);
+                    self.wake_on_full(addr);
+                }
+                Err(e) => {
+                    self.fault(p, slot, e);
+                    return;
+                }
+            },
+            Instr::FetchAdd { rd, base, offset, rs } => match addr_of(self, base, offset) {
+                Ok(addr) => {
+                    ready_at = self.mem_ready_at(addr);
+                    let delta = self.processors[p].stream(slot).reg(rs);
+                    match self.memory.try_fetch_add(addr, delta) {
+                        Some(old) => self.processors[p].stream_mut(slot).set_reg(rd, old),
+                        None => {
+                            self.sync_blocks += 1;
+                            self.waiters.entry(addr).or_default().on_full.push_back((p, slot));
+                            parked = true;
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.fault(p, slot, e);
+                    return;
+                }
+            },
+            Instr::Fork { entry, arg } => {
+                let argv = self.processors[p].stream(slot).reg(arg);
+                let n = self.processors.len();
+                let mut placed = false;
+                for i in 0..n {
+                    let tp = (self.next_place + i) % n;
+                    if self.processors[tp].has_free_slot() {
+                        let at = self.cycle + self.config.fork_cost;
+                        self.processors[tp].install(Stream::new(entry, argv), at);
+                        self.next_place = (tp + 1) % n;
+                        self.forks += 1;
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    self.pending_threads.push_back((entry, argv));
+                    self.soft_spawns += 1;
+                }
+                ready_at = issue_done + self.config.fork_cost;
+            }
+            Instr::Halt => halted = true,
+        }
+
+        if halted {
+            self.processors[p].remove(slot);
+            self.start_pending_if_any(p);
+            return;
+        }
+        if parked {
+            // pc unchanged: the instruction re-executes on wake.
+            self.processors[p].park(slot);
+            return;
+        }
+        self.processors[p].stream_mut(slot).pc = next_pc;
+        self.processors[p].make_ready_at(slot, ready_at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+
+    fn run_program(f: impl FnOnce(&mut Assembler), procs: usize) -> (Machine, RunResult) {
+        let mut a = Assembler::new();
+        f(&mut a);
+        let program = a.assemble().expect("assembly failed");
+        let mut m = Machine::new(MtaConfig { mem_words: 1 << 16, ..MtaConfig::tera(procs) }, program)
+            .expect("bad machine");
+        m.spawn(0, 0).unwrap();
+        let r = m.run(50_000_000);
+        (m, r)
+    }
+
+    #[test]
+    fn empty_halt_program_completes() {
+        let (_, r) = run_program(|a| a.halt(), 1);
+        assert!(r.completed);
+        assert!(!r.deadlocked);
+        assert_eq!(r.stats.instructions(), 1);
+    }
+
+    #[test]
+    fn arithmetic_and_store() {
+        let (m, r) = run_program(
+            |a| {
+                a.li(1, 6);
+                a.li(2, 7);
+                a.mul(3, 1, 2);
+                a.li(4, 100); // address
+                a.store(3, 4, 0);
+                a.halt();
+            },
+            1,
+        );
+        assert!(r.completed);
+        assert_eq!(m.memory().load(100), 42);
+    }
+
+    #[test]
+    fn floating_point_ops() {
+        let (m, r) = run_program(
+            |a| {
+                a.lif(1, 1.5);
+                a.lif(2, 2.5);
+                a.fadd(3, 1, 2); // 4.0
+                a.fmul(4, 3, 3); // 16.0
+                a.fdiv(5, 4, 2); // 6.4
+                a.li(6, 10);
+                a.store(5, 6, 0);
+                a.halt();
+            },
+            1,
+        );
+        assert!(r.completed);
+        assert_eq!(m.memory().load_f64(10), 6.4);
+    }
+
+    #[test]
+    fn single_stream_issues_once_per_21_cycles() {
+        // 100 ALU instructions then halt: cycles ≈ 100 * 21.
+        let (_, r) = run_program(
+            |a| {
+                a.li(1, 100);
+                a.label("loop");
+                a.addi(1, 1, -1);
+                a.bne_l(1, 0, "loop");
+                a.halt();
+            },
+            1,
+        );
+        assert!(r.completed);
+        let instr = r.stats.instructions();
+        assert_eq!(instr, 1 + 200 + 1, "li + 100*(addi,bne) + halt");
+        // Utilization ≈ 1/21 — the paper's "roughly 5% processor
+        // utilization" for single-threaded code.
+        let u = r.utilization();
+        assert!((u - 1.0 / 21.0).abs() < 0.005, "utilization {u}");
+    }
+
+    #[test]
+    fn memory_latency_slows_a_single_stream_beyond_21_cycles() {
+        // A pointer-chasing loop: every iteration is a load. Cycles per
+        // instruction must be ≈ (21 + ~70)/2 > 21.
+        let (_, r) = run_program(
+            |a| {
+                a.li(1, 200); // counter
+                a.li(2, 500); // address
+                a.label("loop");
+                a.load(3, 2, 0);
+                a.addi(1, 1, -1);
+                a.bne_l(1, 0, "loop");
+                a.halt();
+            },
+            1,
+        );
+        assert!(r.completed);
+        let cpi = r.cycles as f64 / r.stats.instructions() as f64;
+        assert!(cpi > 25.0, "memory ops must stretch CPI past the pipeline depth: {cpi}");
+    }
+
+    #[test]
+    fn many_streams_reach_high_utilization() {
+        // 64 streams of pure ALU work fill the issue slot nearly fully.
+        let (_, r) = run_program(
+            |a| {
+                // main: fork 63 workers, then do the same work itself.
+                a.li(2, 63);
+                a.label("spawn");
+                a.fork_l("work", 0);
+                a.addi(2, 2, -1);
+                a.bne_l(2, 0, "spawn");
+                a.label("work");
+                a.li(1, 400);
+                a.label("loop");
+                a.addi(1, 1, -1);
+                a.bne_l(1, 0, "loop");
+                a.halt();
+            },
+            1,
+        );
+        assert!(r.completed);
+        assert_eq!(r.stats.forks, 63);
+        let u = r.utilization();
+        assert!(u > 0.85, "64 ALU streams should nearly saturate: {u}");
+    }
+
+    #[test]
+    fn producer_consumer_synchronizes_through_full_empty_bits() {
+        // Word 1000 starts EMPTY. Producer writes 5 values with StoreSync,
+        // consumer takes them with LoadSync and accumulates into word 1001.
+        let mut a = Assembler::new();
+        // main: set up then fork producer and consumer... main IS producer.
+        a.li(2, 1000); // channel address
+        a.fork_l("consumer", 0);
+        a.li(1, 1);
+        a.label("produce");
+        a.store_sync(1, 2, 0); // waits empty
+        a.addi(1, 1, 1);
+        a.li(3, 6);
+        a.bne_l(1, 3, "produce");
+        a.halt();
+        a.label("consumer");
+        a.li(2, 1000);
+        a.li(4, 0); // sum
+        a.li(5, 5); // count
+        a.label("consume");
+        a.load_sync(3, 2, 0); // waits full
+        a.add(4, 4, 3);
+        // Slow consumer: a delay loop, so the producer runs ahead and must
+        // block on the full channel word.
+        a.li(7, 40);
+        a.label("delay");
+        a.addi(7, 7, -1);
+        a.bne_l(7, 0, "delay");
+        a.addi(5, 5, -1);
+        a.bne_l(5, 0, "consume");
+        a.li(6, 1001);
+        a.store(4, 6, 0);
+        a.halt();
+        let program = a.assemble().unwrap();
+        let mut m =
+            Machine::new(MtaConfig { mem_words: 1 << 12, ..MtaConfig::tera(1) }, program).unwrap();
+        m.memory_mut().set_empty(1000);
+        m.spawn(0, 0).unwrap();
+        let r = m.run(10_000_000);
+        assert!(r.completed, "run did not complete: {r:?}");
+        assert_eq!(m.memory().load(1001), 1 + 2 + 3 + 4 + 5);
+        assert!(r.stats.sync_blocks > 0, "the rendezvous must actually block");
+        assert!(r.stats.wakes > 0);
+    }
+
+    #[test]
+    fn fetch_add_allocates_unique_slots() {
+        // 8 workers each fetch_add(1) on a counter at word 2000, writing
+        // their ticket to 2100+ticket. All tickets 0..8 must be written.
+        let mut a = Assembler::new();
+        a.li(2, 8);
+        a.label("spawn");
+        a.fork_l("work", 0);
+        a.addi(2, 2, -1);
+        a.bne_l(2, 0, "spawn");
+        a.halt();
+        a.label("work");
+        a.li(3, 2000);
+        a.li(4, 1);
+        a.fetch_add(5, 3, 0, 4); // r5 = ticket
+        a.li(6, 2100);
+        a.add(6, 6, 5);
+        a.store(4, 6, 0); // mark ticket claimed
+        a.halt();
+        let program = a.assemble().unwrap();
+        let mut m =
+            Machine::new(MtaConfig { mem_words: 1 << 12, ..MtaConfig::tera(2) }, program).unwrap();
+        m.spawn(0, 0).unwrap();
+        let r = m.run(10_000_000);
+        assert!(r.completed);
+        for t in 0..8 {
+            assert_eq!(m.memory().load(2100 + t), 1, "ticket {t} unclaimed");
+        }
+        assert_eq!(m.memory().load(2000), 8);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        // A single stream takes from an empty word that nobody fills.
+        let mut a = Assembler::new();
+        a.li(2, 100);
+        a.load_sync(3, 2, 0);
+        a.halt();
+        let program = a.assemble().unwrap();
+        let mut m =
+            Machine::new(MtaConfig { mem_words: 1 << 12, ..MtaConfig::tera(1) }, program).unwrap();
+        m.memory_mut().set_empty(100);
+        m.spawn(0, 0).unwrap();
+        let r = m.run(1_000_000);
+        assert!(r.deadlocked);
+        assert!(!r.completed);
+    }
+
+    #[test]
+    fn out_of_bounds_access_faults_the_stream() {
+        let (_, r) = run_program(
+            |a| {
+                a.li(2, 1 << 20); // beyond the 1<<16 test memory
+                a.load(3, 2, 0);
+                a.halt();
+            },
+            1,
+        );
+        assert!(!r.faults.is_empty());
+        assert!(r.faults[0].contains("out of range"));
+    }
+
+    #[test]
+    fn divide_by_zero_faults() {
+        let (_, r) = run_program(
+            |a| {
+                a.li(1, 5);
+                a.div(3, 1, 0);
+                a.halt();
+            },
+            1,
+        );
+        assert!(!r.faults.is_empty());
+        assert!(r.faults[0].contains("divide by zero"));
+    }
+
+    #[test]
+    fn software_threads_queue_when_contexts_are_exhausted() {
+        // 1 processor with only 4 stream contexts, forking 10 workers.
+        let mut a = Assembler::new();
+        a.li(2, 10);
+        a.label("spawn");
+        a.fork_l("work", 0);
+        a.addi(2, 2, -1);
+        a.bne_l(2, 0, "spawn");
+        a.halt();
+        a.label("work");
+        // Long-lived workers keep all contexts busy while main keeps
+        // forking, so later forks must queue as software threads.
+        a.li(6, 200);
+        a.label("busy");
+        a.addi(6, 6, -1);
+        a.bne_l(6, 0, "busy");
+        a.li(3, 3000);
+        a.li(4, 1);
+        a.fetch_add(5, 3, 0, 4);
+        a.halt();
+        let program = a.assemble().unwrap();
+        let cfg = MtaConfig {
+            streams_per_processor: 4,
+            mem_words: 1 << 12,
+            ..MtaConfig::tera(1)
+        };
+        let mut m = Machine::new(cfg, program).unwrap();
+        m.spawn(0, 0).unwrap();
+        let r = m.run(10_000_000);
+        assert!(r.completed, "{r:?}");
+        assert!(r.stats.soft_spawns > 0, "some workers must have queued");
+        assert_eq!(m.memory().load(3000), 10, "all 10 workers must eventually run");
+    }
+
+    #[test]
+    fn forks_spread_across_processors() {
+        let mut a = Assembler::new();
+        a.li(2, 16);
+        a.label("spawn");
+        a.fork_l("work", 0);
+        a.addi(2, 2, -1);
+        a.bne_l(2, 0, "spawn");
+        a.halt();
+        a.label("work");
+        a.li(1, 50);
+        a.label("loop");
+        a.addi(1, 1, -1);
+        a.bne_l(1, 0, "loop");
+        a.halt();
+        let program = a.assemble().unwrap();
+        let mut m =
+            Machine::new(MtaConfig { mem_words: 1 << 12, ..MtaConfig::tera(2) }, program).unwrap();
+        m.spawn(0, 0).unwrap();
+        let r = m.run(10_000_000);
+        assert!(r.completed);
+        assert!(r.stats.peak_live_per_processor[0] > 1);
+        assert!(r.stats.peak_live_per_processor[1] > 1, "{:?}", r.stats.peak_live_per_processor);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let build = || {
+            let mut a = Assembler::new();
+            a.li(2, 12);
+            a.label("spawn");
+            a.fork_l("work", 2);
+            a.addi(2, 2, -1);
+            a.bne_l(2, 0, "spawn");
+            a.halt();
+            a.label("work");
+            a.li(3, 4000);
+            a.add(3, 3, 1);
+            a.li(4, 7);
+            a.store(4, 3, 0);
+            a.li(5, 30);
+            a.label("loop");
+            a.addi(5, 5, -1);
+            a.bne_l(5, 0, "loop");
+            a.halt();
+            a.assemble().unwrap()
+        };
+        let run = || {
+            let mut m =
+                Machine::new(MtaConfig { mem_words: 1 << 13, ..MtaConfig::tera(2) }, build()).unwrap();
+            m.spawn(0, 0).unwrap();
+            m.run(10_000_000)
+        };
+        let r1 = run();
+        let r2 = run();
+        assert_eq!(r1, r2, "simulation must be deterministic");
+    }
+
+    #[test]
+    fn instruction_mix_is_recorded() {
+        let (_, r) = run_program(
+            |a| {
+                a.li(2, 100); // alu
+                a.li(3, 1); // alu
+                a.store(3, 2, 0); // memory
+                a.fetch_add(4, 2, 0, 3); // sync
+                a.halt(); // thread
+            },
+            1,
+        );
+        assert_eq!(r.stats.mix.alu, 2);
+        assert_eq!(r.stats.mix.memory, 1);
+        assert_eq!(r.stats.mix.sync, 1);
+        assert_eq!(r.stats.mix.thread, 1);
+        assert!((r.stats.mix.mem_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookahead_hides_latency_of_independent_loads() {
+        // A single stream issuing back-to-back independent loads: with
+        // lookahead 1 each load blocks (~91 cycles/instr on the load);
+        // with lookahead 8 the stream keeps issuing at the pipeline rate.
+        let build = || {
+            let mut a = Assembler::new();
+            a.li(1, 100); // counter
+            a.li(2, 1000); // address
+            a.label("loop");
+            a.load(3, 2, 0);
+            a.load(4, 2, 1);
+            a.load(5, 2, 2);
+            a.load(6, 2, 3);
+            a.addi(2, 2, 4);
+            a.addi(1, 1, -1);
+            a.bne_l(1, 0, "loop");
+            a.halt();
+            a.assemble().unwrap()
+        };
+        let run = |lookahead: u64| {
+            let cfg = MtaConfig { mem_words: 1 << 16, lookahead, ..MtaConfig::tera(1) };
+            let mut m = Machine::new(cfg, build()).unwrap();
+            m.spawn(0, 0).unwrap();
+            let r = m.run(50_000_000);
+            assert!(r.completed, "{r:?}");
+            r.cycles as f64 / r.stats.instructions() as f64
+        };
+        let cpi_blocking = run(1);
+        let cpi_lookahead = run(8);
+        // Blocking: ~(4*70 + 3*21)/7 = 49 cycles/instr.
+        assert!(cpi_blocking > 40.0, "blocking CPI {cpi_blocking}");
+        assert!(
+            cpi_lookahead < 25.0,
+            "lookahead must hide independent-load latency: {cpi_lookahead}"
+        );
+    }
+
+    #[test]
+    fn dependent_load_chain_defeats_lookahead() {
+        // Pointer chase: each load's address comes from the previous load,
+        // so lookahead cannot overlap anything.
+        let build = || {
+            let mut a = Assembler::new();
+            a.li(1, 150);
+            a.li(2, 1000);
+            a.label("loop");
+            a.load(2, 2, 0); // r2 = mem[r2] (RAW chain)
+            a.addi(1, 1, -1);
+            a.bne_l(1, 0, "loop");
+            a.halt();
+            a.assemble().unwrap()
+        };
+        let run = |lookahead: u64| {
+            let cfg = MtaConfig { mem_words: 1 << 16, lookahead, ..MtaConfig::tera(1) };
+            let mut m = Machine::new(cfg, build()).unwrap();
+            // Make the chase walk in place: mem[1000] = 1000.
+            m.memory_mut().store(1000, 1000);
+            m.spawn(0, 0).unwrap();
+            let r = m.run(50_000_000);
+            assert!(r.completed);
+            r.cycles
+        };
+        let blocking = run(1);
+        let lookahead = run(8);
+        // Lookahead may hide the loop overhead (addi/bne) behind the
+        // load, but never the load-to-load dependence itself: the
+        // per-iteration time stays pinned at the ~70-cycle memory
+        // latency instead of dropping to the ~21-cycle pipeline rate.
+        let per_iter = lookahead as f64 / 150.0;
+        assert!(
+            (60.0..100.0).contains(&per_iter),
+            "chased loads must stay latency-bound: {per_iter} cycles/iter"
+        );
+        assert!(blocking > lookahead, "hiding loop overhead is still a win");
+    }
+
+    #[test]
+    fn lookahead_respects_the_outstanding_budget() {
+        // 16 independent loads in a burst: lookahead 2 must be slower
+        // than lookahead 8 (budget exhaustion stalls the stream).
+        let build = || {
+            let mut a = Assembler::new();
+            a.li(2, 1000);
+            for i in 0..16 {
+                a.load((3 + (i % 8)) as u8, 2, i);
+            }
+            a.halt();
+            a.assemble().unwrap()
+        };
+        let run = |lookahead: u64| {
+            let cfg = MtaConfig { mem_words: 1 << 16, lookahead, ..MtaConfig::tera(1) };
+            let mut m = Machine::new(cfg, build()).unwrap();
+            m.spawn(0, 0).unwrap();
+            let r = m.run(10_000_000);
+            assert!(r.completed);
+            r.cycles
+        };
+        let la2 = run(2);
+        let la8 = run(8);
+        assert!(la2 > la8, "narrow lookahead must stall more: la2={la2} la8={la8}");
+    }
+
+    #[test]
+    fn lookahead_preserves_results_and_sync_fencing() {
+        // Store then LoadSync on the same channel under lookahead: the
+        // sync op fences, so the rendezvous still works and the computed
+        // values are identical to the blocking configuration.
+        let build = || {
+            let mut a = Assembler::new();
+            a.li(1, 50);
+            a.li(2, 2000); // output base
+            a.li(4, 0); // accumulator
+            a.label("loop");
+            a.load(5, 2, -1000); // independent input load
+            a.add(4, 4, 5);
+            a.store(4, 2, 0);
+            a.addi(2, 2, 1);
+            a.addi(1, 1, -1);
+            a.bne_l(1, 0, "loop");
+            a.halt();
+            a.assemble().unwrap()
+        };
+        let run = |lookahead: u64| {
+            let cfg = MtaConfig { mem_words: 1 << 16, lookahead, ..MtaConfig::tera(1) };
+            let mut m = Machine::new(cfg, build()).unwrap();
+            m.memory_mut().store(1000, 3);
+            m.spawn(0, 0).unwrap();
+            let r = m.run(10_000_000);
+            assert!(r.completed);
+            let out: Vec<u64> = (0..50).map(|i| m.memory().load(2000 + i)).collect();
+            out
+        };
+        assert_eq!(run(1), run(8), "lookahead must not change program results");
+    }
+
+    #[test]
+    fn timeout_reports_incomplete() {
+        let (_, r) = run_program(
+            |a| {
+                a.label("forever");
+                a.jmp_l("forever");
+            },
+            1,
+        );
+        assert!(!r.completed);
+        assert!(!r.deadlocked);
+    }
+}

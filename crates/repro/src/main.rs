@@ -1,0 +1,164 @@
+//! `repro` — regenerate every table and figure of the SC'98 paper.
+//!
+//! ```text
+//! repro [--reduced] [--csv DIR] [--out FILE] [SECTION...]
+//!
+//! SECTIONs: tables (default), figures, utilization, autopar, scalability,
+//!           sensitivity, all
+//! ```
+//!
+//! With no arguments the binary measures the paper-scale workload,
+//! calibrates the machine models, and prints Tables 1–12 with the paper's
+//! published value next to every modeled value, followed by ASCII
+//! renditions of Figures 1–4. `--reduced` uses the smaller test workload
+//! (same structure, faster). `--csv DIR` additionally writes one CSV per
+//! table.
+
+use eval_core::experiments::{Experiments, Figure};
+use eval_core::workload::{Workload, WorkloadScale};
+use mta_sim::kernels::measure_utilization;
+use mta_sim::MtaConfig;
+use std::io::Write;
+
+struct Options {
+    scale: WorkloadScale,
+    csv_dir: Option<String>,
+    json_file: Option<String>,
+    out_file: Option<String>,
+    sections: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        scale: WorkloadScale::Paper,
+        csv_dir: None,
+        json_file: None,
+        out_file: None,
+        sections: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reduced" => opts.scale = WorkloadScale::Reduced,
+            "--csv" => opts.csv_dir = args.next(),
+            "--json" => opts.json_file = args.next(),
+            "--out" => opts.out_file = args.next(),
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--reduced] [--csv DIR] [--json FILE] [--out FILE] \
+                     [tables|figures|utilization|autopar|scalability|all]..."
+                );
+                std::process::exit(0);
+            }
+            s => opts.sections.push(s.to_string()),
+        }
+    }
+    if opts.sections.is_empty() {
+        opts.sections.push("all".to_string());
+    }
+    opts
+}
+
+fn want(opts: &Options, section: &str) -> bool {
+    opts.sections.iter().any(|s| s == section || s == "all")
+}
+
+fn utilization_report() -> String {
+    let mut out = String::new();
+    out.push_str("Processor utilization vs hardware streams (mta-sim, 20% memory mix)\n");
+    out.push_str("  paper Section 5/7: single stream ~5%; ~80 streams for full utilization\n");
+    out.push_str("  streams  measured   model min(1, s/L)\n");
+    let cfg = || MtaConfig { mem_words: 1 << 20, ..MtaConfig::tera(1) };
+    // mixed_kernel with alu_per_iter = 3: 5 instructions per iteration,
+    // 1 load => L = (4*21 + 70)/5 = 30.8 cycles.
+    let l = (4.0 * 21.0 + 70.0) / 5.0;
+    for &s in &[1usize, 2, 4, 8, 16, 32, 48, 64, 80, 100, 128] {
+        let u = measure_utilization(cfg(), s, 400, 3);
+        let model = (s as f64 / l).min(1.0);
+        out.push_str(&format!("  {s:>7}  {u:>8.3}   {model:>8.3}\n"));
+    }
+    out
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut out = String::new();
+
+    eprintln!(
+        "measuring workload ({:?} scale) and calibrating models...",
+        opts.scale
+    );
+    let exps = Experiments::new(Workload::build(opts.scale));
+    out.push_str(&format!(
+        "Reproduction of \"An Initial Evaluation of the Tera Multithreaded Architecture\n\
+         and Programming System Using the C3I Parallel Benchmark Suite\" (SC'98).\n\
+         Workload scale: {:?}. Calibration: S_TA={:.1} S_TM={:.1} eta2={:.3} kappa={:.1}\n\n",
+        exps.workload.scale,
+        exps.cal.s_ta,
+        exps.cal.s_tm,
+        exps.cal.tera.eta2,
+        exps.cal.tera.spawn_cycles_per_task
+    ));
+
+    if want(&opts, "tables") {
+        if let Some(path) = &opts.json_file {
+            let tables = exps.all_tables();
+            let json = serde_json::to_string_pretty(&tables).expect("serialize tables");
+            std::fs::write(path, json).expect("write json");
+            eprintln!("wrote {path}");
+        }
+        for t in exps.all_tables() {
+            out.push_str(&t.render());
+            out.push('\n');
+            if let Some(dir) = &opts.csv_dir {
+                std::fs::create_dir_all(dir).expect("create csv dir");
+                let path = format!("{dir}/{}.csv", t.id.to_lowercase().replace(' ', "_"));
+                std::fs::write(&path, t.to_csv()).expect("write csv");
+            }
+        }
+    }
+
+    if want(&opts, "figures") {
+        for f in [
+            Figure::ThreatPPro,
+            Figure::ThreatExemplar,
+            Figure::TerrainPPro,
+            Figure::TerrainExemplar,
+        ] {
+            out.push_str(&exps.figure(f));
+            out.push('\n');
+        }
+    }
+
+    if want(&opts, "autopar") {
+        out.push_str("Automatic parallelization (modeled Tera/Exemplar compilers):\n");
+        out.push_str(&exps.autopar_report().report.to_string());
+        out.push('\n');
+    }
+
+    if want(&opts, "scalability") {
+        out.push_str(
+            &exps
+                .scalability_projection(&[1, 2, 4, 8, 16, 32, 64, 128, 256])
+                .render(),
+        );
+        out.push('\n');
+    }
+
+    if want(&opts, "sensitivity") {
+        out.push_str(&exps.sensitivity().render());
+        out.push('\n');
+    }
+
+    if want(&opts, "utilization") {
+        out.push_str(&utilization_report());
+        out.push('\n');
+    }
+
+    print!("{out}");
+    if let Some(path) = &opts.out_file {
+        let mut f = std::fs::File::create(path).expect("create out file");
+        f.write_all(out.as_bytes()).expect("write out file");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,106 @@
+//! An in-order processor executing a trace against its private cache.
+
+use crate::cache::{AccessResult, Cache, CacheConfig};
+
+/// Processor timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuConfig {
+    /// Cache geometry.
+    pub cache: CacheConfig,
+    /// Cycles for a cache hit.
+    pub hit_cycles: u64,
+    /// Memory cycles for a miss *beyond* the bus transaction (DRAM access
+    /// time).
+    pub miss_extra_cycles: u64,
+}
+
+/// One processor: a cursor over its trace plus its cache and clock.
+#[derive(Debug)]
+pub struct Cpu {
+    /// The processor's private cache (public for coherence snooping by the
+    /// machine).
+    pub cache: Cache,
+    /// Local time (cycles).
+    pub now: u64,
+    /// Compute cycles spent.
+    pub compute_cycles: u64,
+    /// Cycles spent waiting on memory (miss service + bus queueing).
+    pub mem_stall_cycles: u64,
+}
+
+impl Cpu {
+    /// A fresh processor with an empty cache at time 0.
+    pub fn new(config: &CpuConfig) -> Self {
+        Self { cache: Cache::new(config.cache), now: 0, compute_cycles: 0, mem_stall_cycles: 0 }
+    }
+
+    /// Run `cycles` of computation.
+    pub fn compute(&mut self, cycles: u64) {
+        self.now += cycles;
+        self.compute_cycles += cycles;
+    }
+
+    /// Classify a memory access against the private cache and charge the
+    /// hit cost; returns the classification so the machine can charge
+    /// interconnect costs for misses/upgrades.
+    pub fn access(&mut self, cfg: &CpuConfig, addr: usize, write: bool) -> AccessResult {
+        let r = self.cache.access(addr, write);
+        self.now += cfg.hit_cycles;
+        r
+    }
+
+    /// Charge a memory stall ending at `until` (bus + DRAM time computed
+    /// by the machine).
+    pub fn stall_until(&mut self, until: u64) {
+        if until > self.now {
+            self.mem_stall_cycles += until - self.now;
+            self.now = until;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CpuConfig {
+        CpuConfig {
+            cache: CacheConfig { words: 256, line_words: 4, ways: 2 },
+            hit_cycles: 1,
+            miss_extra_cycles: 20,
+        }
+    }
+
+    #[test]
+    fn compute_advances_the_clock() {
+        let c = cfg();
+        let mut cpu = Cpu::new(&c);
+        cpu.compute(50);
+        assert_eq!(cpu.now, 50);
+        assert_eq!(cpu.compute_cycles, 50);
+    }
+
+    #[test]
+    fn hits_cost_hit_cycles() {
+        let c = cfg();
+        let mut cpu = Cpu::new(&c);
+        cpu.access(&c, 0, false); // miss, but only classification here
+        let before = cpu.now;
+        let r = cpu.access(&c, 1, false);
+        assert_eq!(r, AccessResult::Hit);
+        assert_eq!(cpu.now, before + 1);
+    }
+
+    #[test]
+    fn stall_until_accumulates_stalls() {
+        let c = cfg();
+        let mut cpu = Cpu::new(&c);
+        cpu.compute(10);
+        cpu.stall_until(35);
+        assert_eq!(cpu.now, 35);
+        assert_eq!(cpu.mem_stall_cycles, 25);
+        cpu.stall_until(30); // in the past: no-op
+        assert_eq!(cpu.now, 35);
+        assert_eq!(cpu.mem_stall_cycles, 25);
+    }
+}

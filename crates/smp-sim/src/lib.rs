@@ -1,0 +1,34 @@
+//! # smp-sim — trace-driven cache/bus simulator for the conventional
+//! platforms of the SC'98 study
+//!
+//! The paper compares the Tera MTA against three cache-based machines: a
+//! 500 MHz DEC AlphaStation, a quad 200 MHz Pentium Pro (shared bus), and
+//! a 16-processor HP Exemplar. Their behaviour in the study is governed by
+//! two mechanisms this crate simulates:
+//!
+//! * **cache locality** — Threat Analysis runs "mostly within cache" and
+//!   scales nearly perfectly; Terrain Masking streams over large arrays
+//!   and is memory-bound ([`cache`]);
+//! * **shared-interconnect contention** — the memory-bound program
+//!   saturates the bus/crossbar, capping multiprocessor speedup well below
+//!   linear (Figures 3 and 4) ([`bus`]).
+//!
+//! Processors ([`cpu`]) execute operation traces ([`trace`]) against
+//! private set-associative caches with MESI-lite invalidation, sharing a
+//! bandwidth-limited interconnect ([`machine`]). The simulator is used to
+//! *validate the assumptions* of the analytic SMP models in `eval-core`
+//! (hit rates of streaming vs resident access patterns, bus saturation
+//! curves); the analytic models then scale those effects to full benchmark
+//! runs.
+
+pub mod bus;
+pub mod cache;
+pub mod cpu;
+pub mod machine;
+pub mod trace;
+
+pub use bus::Bus;
+pub use cache::{AccessResult, Cache, CacheConfig};
+pub use cpu::{Cpu, CpuConfig};
+pub use machine::{SmpConfig, SmpMachine, SmpResult};
+pub use trace::{Op, TracePattern};

@@ -1,0 +1,314 @@
+//! The SMP machine: N trace-driven processors with private caches, a
+//! MESI-lite coherence protocol, and one shared interconnect.
+//!
+//! Execution interleaves processors in local-time order (the processor
+//! with the earliest clock executes its next operation), so contention for
+//! the shared bus is resolved deterministically and in causal order.
+
+use crate::bus::Bus;
+use crate::cache::AccessResult;
+use crate::cpu::{Cpu, CpuConfig};
+use crate::trace::Op;
+
+/// SMP machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmpConfig {
+    /// Number of processors.
+    pub n_cpus: usize,
+    /// Per-processor configuration (cache, hit/miss costs).
+    pub cpu: CpuConfig,
+    /// Bus occupancy per line transaction.
+    pub bus_per_transaction: u64,
+}
+
+/// Result of a trace-driven run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmpResult {
+    /// Per-processor finish times.
+    pub finish: Vec<u64>,
+    /// Per-processor (hits, misses, upgrades).
+    pub cache_stats: Vec<(u64, u64, u64)>,
+    /// Per-processor cycles stalled on memory.
+    pub mem_stalls: Vec<u64>,
+    /// Total bus transactions.
+    pub bus_transactions: u64,
+    /// Cycles transactions spent queued for the bus.
+    pub bus_queue_cycles: u64,
+    /// Lines invalidated in remote caches by writes.
+    pub invalidations: u64,
+}
+
+impl SmpResult {
+    /// Makespan: the time the last processor finished.
+    pub fn makespan(&self) -> u64 {
+        self.finish.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Machine-wide cache hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let (mut h, mut total) = (0u64, 0u64);
+        for &(hits, misses, upgrades) in &self.cache_stats {
+            h += hits;
+            total += hits + misses + upgrades;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            h as f64 / total as f64
+        }
+    }
+}
+
+/// The machine.
+pub struct SmpMachine {
+    config: SmpConfig,
+    cpus: Vec<Cpu>,
+    bus: Bus,
+    invalidations: u64,
+}
+
+impl SmpMachine {
+    /// A machine of `config.n_cpus` processors with cold caches.
+    pub fn new(config: SmpConfig) -> Self {
+        assert!(config.n_cpus > 0);
+        Self {
+            cpus: (0..config.n_cpus).map(|_| Cpu::new(&config.cpu)).collect(),
+            bus: Bus::new(config.bus_per_transaction),
+            config,
+            invalidations: 0,
+        }
+    }
+
+    /// Run one trace per processor to completion (`traces.len()` must not
+    /// exceed the processor count; missing traces mean idle processors).
+    pub fn run(&mut self, traces: &[Vec<Op>]) -> SmpResult {
+        assert!(
+            traces.len() <= self.config.n_cpus,
+            "more traces ({}) than processors ({})",
+            traces.len(),
+            self.config.n_cpus
+        );
+        let mut cursors = vec![0usize; traces.len()];
+
+        // Pick the unfinished processor with the earliest local clock
+        // (ties break toward the lower index — deterministic).
+        while let Some(p) = (0..traces.len())
+            .filter(|&p| cursors[p] < traces[p].len())
+            .min_by_key(|&p| (self.cpus[p].now, p))
+        {
+            let op = traces[p][cursors[p]];
+            cursors[p] += 1;
+            match op {
+                Op::Compute(n) => self.cpus[p].compute(n),
+                Op::Mem { addr, write } => {
+                    let cfg = self.config.cpu;
+                    let r = self.cpus[p].access(&cfg, addr, write);
+                    match r {
+                        AccessResult::Hit => {}
+                        AccessResult::Miss | AccessResult::Upgrade => {
+                            let now = self.cpus[p].now;
+                            let bus_done = self.bus.transact(now);
+                            let extra =
+                                if r == AccessResult::Miss { cfg.miss_extra_cycles } else { 0 };
+                            self.cpus[p].stall_until(bus_done + extra);
+                            if write {
+                                // Invalidate remote copies.
+                                for q in 0..self.cpus.len() {
+                                    if q != p && self.cpus[q].cache.invalidate(addr) {
+                                        self.invalidations += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        SmpResult {
+            finish: self.cpus[..traces.len()].iter().map(|c| c.now).collect(),
+            cache_stats: self.cpus[..traces.len()].iter().map(|c| c.cache.stats()).collect(),
+            mem_stalls: self.cpus[..traces.len()].iter().map(|c| c.mem_stall_cycles).collect(),
+            bus_transactions: self.bus.transactions(),
+            bus_queue_cycles: self.bus.queue_cycles(),
+            invalidations: self.invalidations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::trace::TracePattern;
+
+    fn config(n_cpus: usize) -> SmpConfig {
+        SmpConfig {
+            n_cpus,
+            cpu: CpuConfig {
+                cache: CacheConfig { words: 4096, line_words: 4, ways: 4 },
+                hit_cycles: 1,
+                miss_extra_cycles: 30,
+            },
+            bus_per_transaction: 10,
+        }
+    }
+
+    #[test]
+    fn compute_only_traces_scale_perfectly() {
+        let traces: Vec<Vec<Op>> = (0..4).map(|_| vec![Op::Compute(1000)]).collect();
+        let mut m = SmpMachine::new(config(4));
+        let r = m.run(&traces);
+        assert_eq!(r.makespan(), 1000, "no shared resource touched");
+        assert_eq!(r.bus_transactions, 0);
+    }
+
+    #[test]
+    fn resident_working_sets_hit_and_scale() {
+        // Each CPU loops over its own cache-resident block: after warmup
+        // everything hits; the bus carries only compulsory misses.
+        let traces: Vec<Vec<Op>> = (0..4)
+            .map(|p| {
+                TracePattern::ResidentLoop {
+                    base: p * 100_000,
+                    block_words: 1024,
+                    rounds: 20,
+                    compute_per_access: 2,
+                }
+                .generate()
+            })
+            .collect();
+        let mut m = SmpMachine::new(config(4));
+        let r = m.run(&traces);
+        assert!(r.hit_rate() > 0.94, "hit rate {}", r.hit_rate());
+        // Near-perfect scaling: makespan ≈ single-cpu time.
+        let single = {
+            let mut m1 = SmpMachine::new(config(1));
+            m1.run(&traces[..1].to_vec()).makespan()
+        };
+        let ratio = r.makespan() as f64 / single as f64;
+        assert!(ratio < 1.1, "compute-bound run must scale: ratio {ratio}");
+    }
+
+    #[test]
+    fn streaming_traces_saturate_the_bus() {
+        // Private streams (no sharing), but every line fill crosses the
+        // one bus: with enough CPUs the bus is the bottleneck.
+        let make = |n: usize| -> Vec<Vec<Op>> {
+            (0..n)
+                .map(|p| {
+                    TracePattern::Stream {
+                        base: p * 1_000_000,
+                        words: 8000,
+                        stride: 1,
+                        compute_per_access: 1,
+                        write: false,
+                    }
+                    .generate()
+                })
+                .collect()
+        };
+        let t1 = SmpMachine::new(config(1)).run(&make(1)).makespan();
+        let t8 = {
+            let mut m = SmpMachine::new(config(8));
+            m.run(&make(8))
+        };
+        // Perfect scaling would keep makespan == t1; bus contention must
+        // inflate it substantially.
+        let ratio = t8.makespan() as f64 / t1 as f64;
+        assert!(ratio > 1.5, "8 streaming CPUs must contend: ratio {ratio}");
+        assert!(t8.bus_queue_cycles > 0);
+    }
+
+    #[test]
+    fn speedup_of_streaming_work_saturates_like_figure_4() {
+        // Fixed total work divided over n CPUs: speedup must flatten well
+        // below linear — the shape of the paper's Exemplar Terrain
+        // Masking curve.
+        let total_words = 32_000;
+        let run = |n: usize| -> u64 {
+            let per = total_words / n;
+            let traces: Vec<Vec<Op>> = (0..n)
+                .map(|p| {
+                    TracePattern::Stream {
+                        base: p * 1_000_000,
+                        words: per,
+                        stride: 1,
+                        compute_per_access: 1,
+                        write: true,
+                    }
+                    .generate()
+                })
+                .collect();
+            SmpMachine::new(config(n)).run(&traces).makespan()
+        };
+        let t1 = run(1);
+        let s4 = t1 as f64 / run(4) as f64;
+        let s16 = t1 as f64 / run(16) as f64;
+        assert!(s4 > 1.5, "some speedup at 4: {s4}");
+        assert!(s16 < 8.0, "memory-bound speedup must saturate: {s16}");
+        assert!(s16 < 16.0 * 0.6);
+    }
+
+    #[test]
+    fn shared_line_writes_ping_pong() {
+        // Two CPUs alternately writing the same line: every write after
+        // the first must be a miss or an upgrade (never a silent hit).
+        let traces: Vec<Vec<Op>> = (0..2)
+            .map(|_| {
+                (0..50)
+                    .flat_map(|_| vec![Op::Compute(5), Op::Mem { addr: 0, write: true }])
+                    .collect()
+            })
+            .collect();
+        let mut m = SmpMachine::new(config(2));
+        let r = m.run(&traces);
+        assert!(r.invalidations > 40, "ping-pong must invalidate constantly: {}", r.invalidations);
+        assert!(r.hit_rate() < 0.5, "shared writes must not hit: {}", r.hit_rate());
+    }
+
+    #[test]
+    fn disjoint_writes_do_not_invalidate() {
+        let traces: Vec<Vec<Op>> = (0..2)
+            .map(|p| {
+                TracePattern::Stream {
+                    base: p * 1_000_000,
+                    words: 100,
+                    stride: 1,
+                    compute_per_access: 0,
+                    write: true,
+                }
+                .generate()
+            })
+            .collect();
+        let mut m = SmpMachine::new(config(2));
+        let r = m.run(&traces);
+        assert_eq!(r.invalidations, 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let traces: Vec<Vec<Op>> = (0..3)
+            .map(|p| {
+                TracePattern::Stream {
+                    base: p * 512,
+                    words: 500,
+                    stride: 3,
+                    compute_per_access: 1,
+                    write: p % 2 == 0,
+                }
+                .generate()
+            })
+            .collect();
+        let r1 = SmpMachine::new(config(3)).run(&traces);
+        let r2 = SmpMachine::new(config(3)).run(&traces);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "more traces")]
+    fn too_many_traces_panics() {
+        let traces = vec![vec![], vec![]];
+        SmpMachine::new(config(1)).run(&traces);
+    }
+}

@@ -1,0 +1,152 @@
+//! Tera-style futures.
+//!
+//! The Tera programming system exposes `future` as its explicit
+//! thread-creation construct: a future expression starts executing on a new
+//! (hardware or software) stream, and touching the future's value blocks —
+//! via the full/empty bit of the result word — until it is ready. The paper
+//! uses futures in the fine-grained Terrain Masking variant.
+//!
+//! [`Future`] reproduces the construct on host threads; the result slot is a
+//! [`SyncVar`], so forcing a future is exactly a synchronized load of its
+//! result word.
+
+use crate::syncvar::SyncVar;
+use std::sync::Arc;
+
+/// A value being computed on another thread; `force()` blocks until ready.
+///
+/// ```
+/// use sthreads::Future;
+/// let f = Future::spawn(|| (1..=10).product::<u64>());
+/// assert_eq!(f.force(), 3_628_800);
+/// ```
+pub struct Future<T> {
+    slot: Arc<SyncVar<T>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> Future<T> {
+    /// Start `f` on a fresh thread and return a handle to its eventual
+    /// result. This is the software-thread flavour (50–100 cycles on the
+    /// MTA, tens of thousands on the conventional platforms — costs
+    /// modelled in `eval-core`).
+    pub fn spawn<F>(f: F) -> Self
+    where
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let slot = Arc::new(SyncVar::new_empty());
+        let writer = Arc::clone(&slot);
+        let handle = std::thread::spawn(move || {
+            writer.put(f());
+        });
+        Self { slot, handle: Some(handle) }
+    }
+
+    /// An already-resolved future. Useful for the sequential fallbacks the
+    /// paper uses when a loop nest is below its parallelization threshold.
+    pub fn ready(value: T) -> Self {
+        Self { slot: Arc::new(SyncVar::new_full(value)), handle: None }
+    }
+
+    /// Block until the computation finishes and return its value.
+    pub fn force(mut self) -> T {
+        let v = self.slot.take();
+        if let Some(h) = self.handle.take() {
+            // The value is already published; join only to release the
+            // thread and propagate panics that happened *after* publishing
+            // (there are none in practice, but don't leak the thread).
+            h.join().expect("future thread panicked");
+        }
+        v
+    }
+
+    /// Whether the result is available without blocking.
+    pub fn is_ready(&self) -> bool {
+        self.slot.is_full()
+    }
+}
+
+impl<T> Drop for Future<T> {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            // A dropped future still represents spawned work; wait for it so
+            // scoped borrows in the caller remain sound by construction.
+            let _ = h.join();
+        }
+    }
+}
+
+/// Fork `n` futures with [`Future::spawn`] and force them all, returning the
+/// results in index order. The parallel-divide step of fine-grained
+/// algorithms.
+pub fn fork_join<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + Clone + 'static,
+{
+    let futures: Vec<Future<T>> = (0..n)
+        .map(|i| {
+            let f = f.clone();
+            Future::spawn(move || f(i))
+        })
+        .collect();
+    futures.into_iter().map(Future::force).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn force_returns_computed_value() {
+        let f = Future::spawn(|| 2 + 2);
+        assert_eq!(f.force(), 4);
+    }
+
+    #[test]
+    fn ready_future_is_immediately_forced() {
+        let f = Future::ready("hello");
+        assert!(f.is_ready());
+        assert_eq!(f.force(), "hello");
+    }
+
+    #[test]
+    fn force_blocks_until_value_is_published() {
+        static DONE: AtomicBool = AtomicBool::new(false);
+        let f = Future::spawn(|| {
+            std::thread::sleep(Duration::from_millis(30));
+            DONE.store(true, Ordering::SeqCst);
+            7
+        });
+        assert_eq!(f.force(), 7);
+        assert!(DONE.load(Ordering::SeqCst), "force returned before the computation finished");
+    }
+
+    #[test]
+    fn fork_join_preserves_index_order() {
+        let out = fork_join(16, |i| i * i);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dropped_future_does_not_leak_unjoined_work() {
+        let flag = Arc::new(AtomicBool::new(false));
+        {
+            let flag = Arc::clone(&flag);
+            let _f = Future::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                flag.store(true, Ordering::SeqCst);
+            });
+            // dropped here without force()
+        }
+        assert!(flag.load(Ordering::SeqCst), "drop must join the spawned thread");
+    }
+
+    #[test]
+    fn futures_of_futures_compose() {
+        let f = Future::spawn(|| Future::spawn(|| 21).force() * 2);
+        assert_eq!(f.force(), 42);
+    }
+}

@@ -1,0 +1,128 @@
+//! # sthreads — structured multithreaded programming runtime
+//!
+//! A Rust analog of the programming systems used in the SC'98 evaluation of
+//! the Tera MTA with the C3I Parallel Benchmark Suite:
+//!
+//! * the **Caltech Sthreads library** (structured multithreading on Windows
+//!   NT, used for the Pentium Pro runs),
+//! * the **HP Exemplar shared-memory pragmas** (used for the Exemplar runs),
+//! * the **Tera parallelization pragmas, futures and synchronization
+//!   variables** (used for the Tera MTA runs).
+//!
+//! The crate provides the three parallel structures those systems share and
+//! that the paper's manual parallelizations are built from:
+//!
+//! * [`multithreaded_for`] / [`ParFor`] — the `#pragma multithreaded` loop,
+//!   with static chunking (Program 2) or dynamic self-scheduling
+//!   (Program 4),
+//! * [`Future`] — Tera-style futures (spawn a computation, `force` its
+//!   value),
+//! * [`SyncVar`] — a full/empty synchronization variable modelling the Tera
+//!   MTA's per-word full/empty bits (`write` waits for empty and sets full,
+//!   `take` waits for full and sets empty).
+//!
+//! Two "backends" exist:
+//!
+//! * the **host backend** (this module's default entry points) runs the
+//!   structures on real OS threads, so benchmark parallelizations can be
+//!   checked for correctness and measured with Criterion on the host, and
+//! * the **counting backend** ([`counting`]) runs the same logical thread
+//!   structure while recording abstract operation counts per logical
+//!   thread; those counts feed the calibrated machine models in
+//!   `eval-core` that regenerate the paper's tables.
+//!
+//! # Quick example
+//!
+//! ```
+//! use sthreads::{multithreaded_for, Schedule};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let sum = AtomicU64::new(0);
+//! multithreaded_for(0..1000, 4, Schedule::Static, |i| {
+//!     sum.fetch_add(i as u64, Ordering::Relaxed);
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+//! ```
+
+pub mod barrier;
+pub mod counting;
+pub mod future;
+pub mod par_for;
+pub mod pool;
+pub mod queue;
+pub mod syncvar;
+
+pub use barrier::{reduce, Barrier};
+pub use counting::{OpCounts, OpRecorder, ThreadCounts};
+pub use future::Future;
+pub use par_for::{multithreaded_for, ChunkBounds, ParFor, Schedule};
+pub use pool::{scope_threads, ThreadPool};
+pub use queue::WorkQueue;
+pub use syncvar::{SyncCounter, SyncVar};
+
+/// Compute the half-open index range owned by `chunk` when `n_items` items
+/// are divided as evenly as possible among `n_chunks` chunks.
+///
+/// This is exactly the blocking expression used by the paper's multithreaded
+/// Threat Analysis (Program 2):
+///
+/// ```text
+/// first_threat = (chunk*num_threats)/num_chunks;
+/// last_threat  = ((chunk+1)*num_threats)/num_chunks - 1;
+/// ```
+///
+/// Every item belongs to exactly one chunk and chunk sizes differ by at most
+/// one.
+///
+/// ```
+/// use sthreads::chunk_range;
+/// assert_eq!(chunk_range(0, 10, 3), 0..3);
+/// assert_eq!(chunk_range(1, 10, 3), 3..6);
+/// assert_eq!(chunk_range(2, 10, 3), 6..10);
+/// ```
+pub fn chunk_range(chunk: usize, n_items: usize, n_chunks: usize) -> std::ops::Range<usize> {
+    assert!(n_chunks > 0, "chunk_range: n_chunks must be positive");
+    assert!(chunk < n_chunks, "chunk_range: chunk {chunk} out of {n_chunks}");
+    let first = chunk * n_items / n_chunks;
+    let last = (chunk + 1) * n_items / n_chunks;
+    first..last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_range_covers_all_items_exactly_once() {
+        for n_items in [0usize, 1, 7, 100, 1000] {
+            for n_chunks in [1usize, 2, 3, 7, 16, 256] {
+                let mut seen = vec![0u32; n_items];
+                for c in 0..n_chunks {
+                    for i in chunk_range(c, n_items, n_chunks) {
+                        seen[i] += 1;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s == 1), "items={n_items} chunks={n_chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one() {
+        for n_items in [5usize, 100, 999] {
+            for n_chunks in [2usize, 3, 13, 64] {
+                let sizes: Vec<usize> =
+                    (0..n_chunks).map(|c| chunk_range(c, n_items, n_chunks).len()).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn chunk_range_rejects_out_of_range_chunk() {
+        chunk_range(3, 10, 3);
+    }
+}

@@ -1,0 +1,137 @@
+//! Scoped worker-thread execution.
+//!
+//! The Sthreads library of the paper creates one OS thread per loop chunk on
+//! Windows NT; on the Exemplar the pragmas bind one thread per processor.
+//! Here a parallel region is realized with scoped threads so borrowed data
+//! can be shared without `'static` bounds, matching the shared-memory model
+//! of all four platforms in the study.
+
+use std::num::NonZeroUsize;
+
+/// Run `n_threads` copies of `body` on scoped OS threads and wait for all of
+/// them. `body` receives the thread index `0..n_threads`.
+///
+/// With `n_threads == 1` the body runs on the calling thread — this mirrors
+/// the paper's measurement convention where the 1-processor parallel run is
+/// the parallel program on one thread, not the sequential program.
+pub fn scope_threads<F>(n_threads: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    assert!(n_threads > 0, "scope_threads: need at least one thread");
+    if n_threads == 1 {
+        body(0);
+        return;
+    }
+    std::thread::scope(|s| {
+        // Spawn threads 1..n and run thread 0 on the caller, so a parallel
+        // region of width n costs n-1 spawns (as Sthreads did).
+        let body = &body;
+        for t in 1..n_threads {
+            s.spawn(move || body(t));
+        }
+        body(0);
+    });
+}
+
+/// A reusable pool abstraction for callers that want an explicit object.
+///
+/// The pool is deliberately simple: it remembers a thread-count and hands the
+/// actual execution to [`scope_threads`]. Sthreads' own pool on NT was
+/// likewise a thin veneer over `CreateThread`; the cost model for OS-thread
+/// creation (tens of thousands of cycles, §7 of the paper) lives in the
+/// machine models, not here.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    n_threads: NonZeroUsize,
+}
+
+impl ThreadPool {
+    /// Create a pool of `n_threads` workers. Panics if `n_threads == 0`.
+    pub fn new(n_threads: usize) -> Self {
+        Self {
+            n_threads: NonZeroUsize::new(n_threads).expect("ThreadPool: n_threads must be > 0"),
+        }
+    }
+
+    /// A pool sized to the host's available parallelism.
+    pub fn host() -> Self {
+        let n = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads.get()
+    }
+
+    /// Run `body(thread_index)` on every worker and wait.
+    pub fn run<F>(&self, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        scope_threads(self.n_threads.get(), body);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_threads_runs_every_index_once() {
+        let hits = [const { AtomicUsize::new(0) }; 8];
+        scope_threads(8, |t| {
+            hits[t].fetch_add(1, Ordering::SeqCst);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn scope_threads_single_thread_runs_inline() {
+        let tid = std::thread::current().id();
+        // body is Fn + Sync, so record through a mutex-guarded slot.
+        let slot = parking_lot::Mutex::new(None);
+        scope_threads(1, |t| {
+            assert_eq!(t, 0);
+            *slot.lock() = Some(std::thread::current().id());
+        });
+        assert_eq!(*slot.lock(), Some(tid), "width-1 region must run on the caller");
+    }
+
+    #[test]
+    fn scope_threads_shares_borrowed_data() {
+        let data = vec![1u64; 1000];
+        let sum = AtomicUsize::new(0);
+        scope_threads(4, |t| {
+            let part: u64 = data[t * 250..(t + 1) * 250].iter().sum();
+            sum.fetch_add(part as usize, Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn pool_reports_size_and_runs() {
+        let pool = ThreadPool::new(3);
+        assert_eq!(pool.n_threads(), 3);
+        let count = AtomicUsize::new(0);
+        pool.run(|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_threads must be > 0")]
+    fn pool_rejects_zero_threads() {
+        let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn host_pool_has_at_least_one_thread() {
+        assert!(ThreadPool::host().n_threads() >= 1);
+    }
+}

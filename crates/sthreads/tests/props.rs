@@ -1,0 +1,105 @@
+//! Property-based tests for the sthreads runtime primitives.
+
+use proptest::prelude::*;
+use sthreads::{chunk_range, multithreaded_for, OpCounts, ParFor, Schedule, SyncVar, ThreadCounts, WorkQueue};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+proptest! {
+    /// Every index in 0..n belongs to exactly one chunk, for any (n, chunks).
+    #[test]
+    fn chunking_is_a_partition(n in 0usize..5000, chunks in 1usize..300) {
+        let mut covered = 0usize;
+        let mut prev_end = 0usize;
+        for c in 0..chunks {
+            let r = chunk_range(c, n, chunks);
+            prop_assert_eq!(r.start, prev_end, "chunks must be contiguous");
+            prev_end = r.end;
+            covered += r.len();
+        }
+        prop_assert_eq!(prev_end, n);
+        prop_assert_eq!(covered, n);
+    }
+
+    /// Chunk sizes never differ by more than one.
+    #[test]
+    fn chunking_is_balanced(n in 0usize..5000, chunks in 1usize..300) {
+        let sizes: Vec<usize> = (0..chunks).map(|c| chunk_range(c, n, chunks).len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// multithreaded_for computes the same reduction as a sequential loop,
+    /// for both schedules and arbitrary thread counts.
+    #[test]
+    fn par_for_matches_sequential_sum(
+        n in 0usize..2000,
+        threads in 1usize..9,
+        dynamic in any::<bool>(),
+    ) {
+        let schedule = if dynamic { Schedule::Dynamic } else { Schedule::Static };
+        let expected: u64 = (0..n as u64).map(|i| i.wrapping_mul(2654435761)).sum();
+        let sum = AtomicU64::new(0);
+        multithreaded_for(0..n, threads, schedule, |i| {
+            sum.fetch_add((i as u64).wrapping_mul(2654435761), Ordering::Relaxed);
+        });
+        prop_assert_eq!(sum.load(Ordering::Relaxed), expected);
+    }
+
+    /// A chunked ParFor with an arbitrary chunk count still covers the range.
+    #[test]
+    fn chunked_par_for_covers_range(
+        start in 0usize..100,
+        len in 0usize..1000,
+        threads in 1usize..6,
+        chunks in 1usize..64,
+    ) {
+        let covered = AtomicU64::new(0);
+        ParFor::new(start..start + len)
+            .threads(threads)
+            .chunk_count(chunks)
+            .run_chunked(|c| {
+                covered.fetch_add((c.end - c.first) as u64, Ordering::Relaxed);
+            });
+        prop_assert_eq!(covered.load(Ordering::Relaxed), len as u64);
+    }
+
+    /// WorkQueue dispenses the full range with no duplicates under
+    /// sequential draining from an arbitrary start.
+    #[test]
+    fn work_queue_is_exact(start in 0usize..1000, len in 0usize..1000) {
+        let q = WorkQueue::new(start..start + len);
+        let mut got = Vec::new();
+        while let Some(i) = q.next() {
+            got.push(i);
+        }
+        prop_assert_eq!(got, (start..start + len).collect::<Vec<_>>());
+        prop_assert!(q.is_exhausted());
+    }
+
+    /// SyncVar sequential write/take round-trips any sequence of values.
+    #[test]
+    fn syncvar_round_trips(values in proptest::collection::vec(any::<i64>(), 0..50)) {
+        let v = SyncVar::new_empty();
+        for &x in &values {
+            v.write(x);
+            prop_assert_eq!(v.take(), x);
+        }
+        prop_assert!(!v.is_full());
+    }
+
+    /// ThreadCounts invariants: total >= max thread, imbalance >= 1.
+    #[test]
+    fn thread_counts_invariants(loads in proptest::collection::vec(0u64..10_000, 1..64)) {
+        let tc = ThreadCounts::new(
+            loads.iter().map(|&l| OpCounts { int_ops: l, ..OpCounts::default() }).collect(),
+        );
+        prop_assert!(tc.total().instructions() >= tc.max_thread_instructions());
+        prop_assert!(tc.imbalance() >= 1.0 - 1e-9);
+        // Round-robin worker totals conserve instructions.
+        for workers in [1usize, 2, 3, 7] {
+            let per_worker = tc.worker_instructions(workers);
+            prop_assert_eq!(per_worker.iter().sum::<u64>(), tc.total().instructions());
+        }
+    }
+}

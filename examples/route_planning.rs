@@ -1,0 +1,105 @@
+//! Mission planning on top of both benchmarks: compute the masking field
+//! (Terrain Masking), plan a minimum-exposure penetration route at
+//! several altitudes, and schedule interceptor engagements against the
+//! inbound raid (Threat Analysis + engagement assignment) — the C3I
+//! application chain the benchmark suite abstracts.
+//!
+//! ```text
+//! cargo run --release --example route_planning
+//! ```
+
+use tera_c3i::c3i::terrain::{self, TerrainScenarioParams};
+use tera_c3i::c3i::threat::{self, engagement, ThreatScenarioParams};
+
+fn main() {
+    // ── 1. The defended terrain ─────────────────────────────────────────
+    let scenario = terrain::generate(TerrainScenarioParams {
+        grid_size: 160,
+        n_threats: 9,
+        seed: 23,
+        ..Default::default()
+    });
+    let masking = terrain::terrain_masking_host(&scenario);
+    terrain::verify_masking(&scenario, &masking).expect("masking verifies");
+    println!(
+        "terrain {}x{}, {} radars",
+        scenario.terrain.x_size(),
+        scenario.terrain.y_size(),
+        scenario.threats.len()
+    );
+
+    // ── 2. Penetration routes at different altitudes ────────────────────
+    let start = (0usize, 80usize);
+    let goal = (159usize, 80usize);
+    println!("\naltitude trade (west->east penetration, best route):");
+    println!("  altitude   terrain exposed   route exposed cells   route length");
+    for alt in [200.0, 500.0, 1000.0, 2000.0, 4000.0] {
+        let frac = terrain::exposed_fraction(&masking, alt);
+        let route = terrain::plan_route(&masking, alt, start, goal).expect("route");
+        println!(
+            "  {alt:>7.0}m   {:>14.1}%   {:>19}   {:>12.1}",
+            100.0 * frac,
+            route.exposed_cells,
+            route.length
+        );
+    }
+
+    // Render the 500 m route.
+    let alt = 500.0;
+    let route = terrain::plan_route(&masking, alt, start, goal).unwrap();
+    println!(
+        "\nroute at {alt:.0} m ({} exposed cells):  '.'=shadowed, 'x'=exposed, 'o'=route, 'X'=route+exposed",
+        route.exposed_cells
+    );
+    let on_route: std::collections::HashSet<(usize, usize)> = route.cells.iter().copied().collect();
+    let step = 160 / 80;
+    for gy in 0..40 {
+        let mut line = String::new();
+        for gx in 0..80 {
+            let (x, y) = (gx * step, gy * 4);
+            let exposed = terrain::is_exposed(&masking, x, y, alt);
+            let near_route = (0..step).any(|dx| {
+                (0..4).any(|dy| on_route.contains(&((x + dx).min(159), (y + dy).min(159))))
+            });
+            line.push(match (near_route, exposed) {
+                (true, true) => 'X',
+                (true, false) => 'o',
+                (false, true) => 'x',
+                (false, false) => '.',
+            });
+        }
+        println!("  {line}");
+    }
+
+    // ── 3. The defensive side: schedule interceptors against a raid ────
+    let raid = threat::generate(ThreatScenarioParams {
+        n_threats: 120,
+        n_weapons: 8,
+        seed: 23,
+        ..Default::default()
+    });
+    let intervals = threat::threat_analysis_host(&raid);
+    let plan = engagement::schedule_greedy(&intervals);
+    plan.validate(&intervals).expect("plan validates");
+    let interceptable: std::collections::BTreeSet<u32> =
+        intervals.iter().map(|iv| iv.threat).collect();
+    println!(
+        "\nengagement scheduling: {} inbound threats, {} interceptable, {} engaged \
+         (coverage {:.0}%), {} leakers",
+        raid.threats.len(),
+        interceptable.len(),
+        plan.threats_engaged(),
+        100.0 * engagement::coverage(&plan, &intervals),
+        interceptable.len() - plan.threats_engaged(),
+    );
+    let busiest = plan
+        .engagements
+        .iter()
+        .fold(std::collections::BTreeMap::<u32, usize>::new(), |mut m, e| {
+            *m.entry(e.weapon).or_default() += 1;
+            m
+        });
+    if let Some((w, n)) = busiest.iter().max_by_key(|&(_, n)| n) {
+        println!("busiest battery: weapon {w} with {n} engagements");
+    }
+}
