@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate. Run from anywhere; everything happens in the repo root.
+#
+# Offline-friendly by construction: every external dependency is vendored
+# as a path crate under vendor/ (see Cargo.toml [workspace.dependencies]),
+# so no step below touches a registry or the network. Do not add
+# registry-resolved dependencies; extend vendor/ instead.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== format check =="
+cargo fmt --check
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: release build + tests =="
+cargo build --release
+cargo test -q
+
+echo "== full workspace tests =="
+cargo test -q --workspace
+
+echo "CI OK"

@@ -55,9 +55,18 @@ fn dim_may_conflict(a: &Expr, b: &Expr, loop_var: &str) -> bool {
     use Expr::*;
     match (a, b) {
         (Const(x), Const(y)) => x == y,
-        (Affine { var: v1, scale: s1, offset: o1 }, Affine { var: v2, scale: s2, offset: o2 })
-            if v1 == loop_var && v2 == loop_var =>
-        {
+        (
+            Affine {
+                var: v1,
+                scale: s1,
+                offset: o1,
+            },
+            Affine {
+                var: v2,
+                scale: s2,
+                offset: o2,
+            },
+        ) if v1 == loop_var && v2 == loop_var => {
             affine_may_conflict_cross_iteration(*s1, *o1, *s2, *o2)
         }
         (Affine { var, scale, offset }, Const(c)) | (Const(c), Affine { var, scale, offset })
@@ -108,12 +117,16 @@ pub struct AnalysisOptions {
 impl AnalysisOptions {
     /// The capabilities of the compilers the paper evaluated.
     pub fn era1998() -> Self {
-        Self { recognize_reductions: false }
+        Self {
+            recognize_reductions: false,
+        }
     }
 
     /// A present-day auto-parallelizer.
     pub fn modern() -> Self {
-        Self { recognize_reductions: true }
+        Self {
+            recognize_reductions: true,
+        }
     }
 }
 
@@ -139,8 +152,7 @@ pub fn analyze_loop_with(l: &LoopNest, opts: &AnalysisOptions) -> LoopVerdict {
     let mut flagged: BTreeSet<&str> = BTreeSet::new();
     for s in &stmts {
         for w in &s.writes {
-            let reducible =
-                opts.recognize_reductions && s.reductions.iter().any(|r| r == w);
+            let reducible = opts.recognize_reductions && s.reductions.iter().any(|r| r == w);
             if w != &l.var && !private.contains(w) && !reducible && flagged.insert(w) {
                 reasons.push(Reason::ScalarDependence { name: w.clone() });
             }
@@ -172,14 +184,14 @@ pub fn analyze_loop_with(l: &LoopNest, opts: &AnalysisOptions) -> LoopVerdict {
                     if refs_may_conflict(a, b, &l.var) {
                         let key = (a.array.clone(), format!("{}/{}", s1.label, s2.label));
                         if seen_pairs.insert(key) {
-                            let opaque = a
-                                .indices
-                                .iter()
-                                .chain(&b.indices)
-                                .any(|e| !matches!(e, Expr::Const(_))
-                                    && !matches!(e, Expr::Affine { var, .. } if var == &l.var));
+                            let opaque = a.indices.iter().chain(&b.indices).any(|e| {
+                                !matches!(e, Expr::Const(_))
+                                    && !matches!(e, Expr::Affine { var, .. } if var == &l.var)
+                            });
                             reasons.push(if opaque {
-                                Reason::DataDependentSubscript { array: a.array.clone() }
+                                Reason::DataDependentSubscript {
+                                    array: a.array.clone(),
+                                }
                             } else {
                                 Reason::ArrayConflict {
                                     array: a.array.clone(),
@@ -237,7 +249,15 @@ mod tests {
         let l = LoopNest::new("for i", "i").stmt(
             Stmt::new("a[i]=a[i-1]")
                 .array("a", vec![Expr::var("i")], true)
-                .array("a", vec![Expr::Affine { var: "i".into(), scale: 1, offset: -1 }], false),
+                .array(
+                    "a",
+                    vec![Expr::Affine {
+                        var: "i".into(),
+                        scale: 1,
+                        offset: -1,
+                    }],
+                    false,
+                ),
         );
         let verdict = v(&l);
         assert!(!verdict.parallel);
@@ -249,8 +269,24 @@ mod tests {
         // for i: a[2i] = a[2i+1] — writes even, reads odd: independent.
         let l = LoopNest::new("for i", "i").stmt(
             Stmt::new("a[2i]=a[2i+1]")
-                .array("a", vec![Expr::Affine { var: "i".into(), scale: 2, offset: 0 }], true)
-                .array("a", vec![Expr::Affine { var: "i".into(), scale: 2, offset: 1 }], false),
+                .array(
+                    "a",
+                    vec![Expr::Affine {
+                        var: "i".into(),
+                        scale: 2,
+                        offset: 0,
+                    }],
+                    true,
+                )
+                .array(
+                    "a",
+                    vec![Expr::Affine {
+                        var: "i".into(),
+                        scale: 2,
+                        offset: 1,
+                    }],
+                    false,
+                ),
         );
         assert!(v(&l).parallel, "{:?}", v(&l));
     }
@@ -266,7 +302,10 @@ mod tests {
         );
         let verdict = v(&l);
         assert!(!verdict.parallel);
-        assert_eq!(verdict.reasons, vec![Reason::ScalarDependence { name: "sum".into() }]);
+        assert_eq!(
+            verdict.reasons,
+            vec![Reason::ScalarDependence { name: "sum".into() }]
+        );
     }
 
     #[test]
@@ -284,25 +323,31 @@ mod tests {
 
     #[test]
     fn opaque_call_blocks() {
-        let l = LoopNest::new("for i", "i")
-            .stmt(Stmt::new("f(i)").call("f").array("a", vec![Expr::var("i")], true));
+        let l = LoopNest::new("for i", "i").stmt(Stmt::new("f(i)").call("f").array(
+            "a",
+            vec![Expr::var("i")],
+            true,
+        ));
         let verdict = v(&l);
         assert!(!verdict.parallel);
-        assert!(verdict.reasons.contains(&Reason::OpaqueCall { name: "f".into() }));
+        assert!(verdict
+            .reasons
+            .contains(&Reason::OpaqueCall { name: "f".into() }));
     }
 
     #[test]
     fn data_dependent_subscript_blocks() {
         // for i: out[count] = i  — the Threat Analysis pattern.
-        let l = LoopNest::new("for i", "i").stmt(
-            Stmt::new("out[count]=...")
-                .array("out", vec![Expr::Opaque("count".into())], true),
-        );
+        let l = LoopNest::new("for i", "i").stmt(Stmt::new("out[count]=...").array(
+            "out",
+            vec![Expr::Opaque("count".into())],
+            true,
+        ));
         let verdict = v(&l);
         assert!(!verdict.parallel);
-        assert!(verdict
-            .reasons
-            .contains(&Reason::DataDependentSubscript { array: "out".into() }));
+        assert!(verdict.reasons.contains(&Reason::DataDependentSubscript {
+            array: "out".into()
+        }));
     }
 
     #[test]
@@ -311,7 +356,11 @@ mod tests {
         let l = LoopNest::new("for c", "c").stmt(
             Stmt::new("out[c][k]=...")
                 .array("out", vec![Expr::var("c"), Expr::Opaque("k".into())], true)
-                .array("out", vec![Expr::var("c"), Expr::Opaque("k2".into())], false),
+                .array(
+                    "out",
+                    vec![Expr::var("c"), Expr::Opaque("k2".into())],
+                    false,
+                ),
         );
         assert!(v(&l).parallel, "{:?}", v(&l));
     }
@@ -335,9 +384,11 @@ mod tests {
     #[test]
     fn modern_analyzer_still_rejects_non_reduction_scalars() {
         // A scalar written but NOT marked associative stays a dependence.
-        let l = LoopNest::new("for i", "i").stmt(
-            Stmt::new("last=a[i]").writes(&["last"]).array("a", vec![Expr::var("i")], false),
-        );
+        let l = LoopNest::new("for i", "i").stmt(Stmt::new("last=a[i]").writes(&["last"]).array(
+            "a",
+            vec![Expr::var("i")],
+            false,
+        ));
         assert!(!analyze_loop_with(&l, &AnalysisOptions::modern()).parallel);
     }
 
@@ -379,8 +430,11 @@ mod tests {
         // for i { for j: a[j] = ... } — parallelizing *i* would have all
         // iterations write the same a[j] range.
         let outer = LoopNest::new("for i", "i").nest(
-            LoopNest::new("for j", "j")
-                .stmt(Stmt::new("a[j]=...").array("a", vec![Expr::var("j")], true)),
+            LoopNest::new("for j", "j").stmt(Stmt::new("a[j]=...").array(
+                "a",
+                vec![Expr::var("j")],
+                true,
+            )),
         );
         let verdict = v(&outer);
         assert!(!verdict.parallel, "{verdict:?}");

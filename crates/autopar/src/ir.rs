@@ -29,7 +29,11 @@ pub enum Expr {
 impl Expr {
     /// Shorthand for the loop variable itself.
     pub fn var(name: &str) -> Self {
-        Expr::Affine { var: name.to_string(), scale: 1, offset: 0 }
+        Expr::Affine {
+            var: name.to_string(),
+            scale: 1,
+            offset: 0,
+        }
     }
 }
 
@@ -67,7 +71,10 @@ pub struct Stmt {
 impl Stmt {
     /// An empty statement with a label.
     pub fn new(label: &str) -> Self {
-        Stmt { label: label.to_string(), ..Stmt::default() }
+        Stmt {
+            label: label.to_string(),
+            ..Stmt::default()
+        }
     }
 
     /// Builder: add scalar reads.
@@ -91,7 +98,11 @@ impl Stmt {
 
     /// Builder: add an array access.
     pub fn array(mut self, array: &str, indices: Vec<Expr>, write: bool) -> Self {
-        self.arrays.push(ArrayRef { array: array.to_string(), indices, write });
+        self.arrays.push(ArrayRef {
+            array: array.to_string(),
+            indices,
+            write,
+        });
         self
     }
 
@@ -213,19 +224,28 @@ mod tests {
         assert_eq!(l.all_stmts().len(), 2);
         let private = l.all_private();
         assert!(private.contains(&"t".to_string()));
-        assert!(private.contains(&"j".to_string()), "inner loop var is private");
+        assert!(
+            private.contains(&"j".to_string()),
+            "inner loop var is private"
+        );
     }
 
     #[test]
     fn expr_var_is_identity_affine() {
-        assert_eq!(Expr::var("i"), Expr::Affine { var: "i".into(), scale: 1, offset: 0 });
+        assert_eq!(
+            Expr::var("i"),
+            Expr::Affine {
+                var: "i".into(),
+                scale: 1,
+                offset: 0
+            }
+        );
     }
 
     #[test]
     fn all_stmts_walks_nesting_depth() {
         let l = LoopNest::new("outer", "i").nest(
-            LoopNest::new("mid", "j")
-                .nest(LoopNest::new("inner", "k").stmt(Stmt::new("deep"))),
+            LoopNest::new("mid", "j").nest(LoopNest::new("inner", "k").stmt(Stmt::new("deep"))),
         );
         let labels: Vec<&str> = l.all_stmts().iter().map(|s| s.label.as_str()).collect();
         assert_eq!(labels, vec!["deep"]);

@@ -16,40 +16,61 @@ use crate::report::Report;
 
 /// Program 1: sequential Threat Analysis — the outer `for threat` loop.
 pub fn program1_threat_sequential() -> LoopNest {
-    LoopNest::new("for threat (Program 1, sequential Threat Analysis)", "threat")
-        .private(&["t0", "t1", "t2"])
-        .nest(
-            LoopNest::new("for weapon", "weapon").stmt(
-                Stmt::new("intervals[num_intervals] = (threat, weapon, [t1..t2]); num_intervals++")
-                    .reads(&["num_intervals"])
-                    .writes(&["num_intervals"])
-                    .array("intervals", vec![Expr::Opaque("num_intervals".into())], true)
-                    .array("threats", vec![Expr::var("threat")], false)
-                    .array("weapons", vec![Expr::Opaque("weapon".into())], false)
-                    .call("first_intercept_time")
-                    .call("last_intercept_time"),
-            ),
-        )
+    LoopNest::new(
+        "for threat (Program 1, sequential Threat Analysis)",
+        "threat",
+    )
+    .private(&["t0", "t1", "t2"])
+    .nest(
+        LoopNest::new("for weapon", "weapon").stmt(
+            Stmt::new("intervals[num_intervals] = (threat, weapon, [t1..t2]); num_intervals++")
+                .reads(&["num_intervals"])
+                .writes(&["num_intervals"])
+                .array(
+                    "intervals",
+                    vec![Expr::Opaque("num_intervals".into())],
+                    true,
+                )
+                .array("threats", vec![Expr::var("threat")], false)
+                .array("weapons", vec![Expr::Opaque("weapon".into())], false)
+                .call("first_intercept_time")
+                .call("last_intercept_time"),
+        ),
+    )
 }
 
 /// Program 2: chunked Threat Analysis — the `for chunk` loop, with and
 /// without the `#pragma multithreaded`.
 pub fn program2_threat_chunked(with_pragma: bool) -> LoopNest {
-    let l = LoopNest::new("for chunk (Program 2, multithreaded Threat Analysis)", "chunk")
-        .private(&["first_threat", "last_threat", "threat", "weapon", "t0", "t1", "t2"])
-        .stmt(
-            Stmt::new("intervals[chunk][num_intervals[chunk]] = ...; num_intervals[chunk]++")
-                .array(
-                    "intervals",
-                    vec![Expr::var("chunk"), Expr::Opaque("num_intervals[chunk]".into())],
-                    true,
-                )
-                .array("num_intervals", vec![Expr::var("chunk")], true)
-                .array("num_intervals", vec![Expr::var("chunk")], false)
-                .array("threats", vec![Expr::Opaque("threat".into())], false)
-                .call("first_intercept_time")
-                .call("last_intercept_time"),
-        );
+    let l = LoopNest::new(
+        "for chunk (Program 2, multithreaded Threat Analysis)",
+        "chunk",
+    )
+    .private(&[
+        "first_threat",
+        "last_threat",
+        "threat",
+        "weapon",
+        "t0",
+        "t1",
+        "t2",
+    ])
+    .stmt(
+        Stmt::new("intervals[chunk][num_intervals[chunk]] = ...; num_intervals[chunk]++")
+            .array(
+                "intervals",
+                vec![
+                    Expr::var("chunk"),
+                    Expr::Opaque("num_intervals[chunk]".into()),
+                ],
+                true,
+            )
+            .array("num_intervals", vec![Expr::var("chunk")], true)
+            .array("num_intervals", vec![Expr::var("chunk")], false)
+            .array("threats", vec![Expr::Opaque("threat".into())], false)
+            .call("first_intercept_time")
+            .call("last_intercept_time"),
+    );
     if with_pragma {
         l.pragma()
     } else {
@@ -59,48 +80,71 @@ pub fn program2_threat_chunked(with_pragma: bool) -> LoopNest {
 
 /// Program 3: sequential Terrain Masking — the outer `for threat` loop.
 pub fn program3_terrain_sequential() -> LoopNest {
-    LoopNest::new("for threat (Program 3, sequential Terrain Masking)", "threat")
-        .private(&["x", "y"])
-        .stmt(
-            Stmt::new("masking[region of influence] = ...")
-                // The region bounds depend on the threat's data — the
-                // compiler sees data-dependent subscripts into a shared
-                // array, written by every iteration.
-                .array(
-                    "masking",
-                    vec![Expr::Opaque("x in region".into()), Expr::Opaque("y in region".into())],
-                    true,
-                )
-                .array(
-                    "masking",
-                    vec![Expr::Opaque("x in region".into()), Expr::Opaque("y in region".into())],
-                    false,
-                )
-                .array("temp", vec![Expr::Opaque("x".into()), Expr::Opaque("y".into())], true)
-                .call("max_safe_altitude"),
-        )
+    LoopNest::new(
+        "for threat (Program 3, sequential Terrain Masking)",
+        "threat",
+    )
+    .private(&["x", "y"])
+    .stmt(
+        Stmt::new("masking[region of influence] = ...")
+            // The region bounds depend on the threat's data — the
+            // compiler sees data-dependent subscripts into a shared
+            // array, written by every iteration.
+            .array(
+                "masking",
+                vec![
+                    Expr::Opaque("x in region".into()),
+                    Expr::Opaque("y in region".into()),
+                ],
+                true,
+            )
+            .array(
+                "masking",
+                vec![
+                    Expr::Opaque("x in region".into()),
+                    Expr::Opaque("y in region".into()),
+                ],
+                false,
+            )
+            .array(
+                "temp",
+                vec![Expr::Opaque("x".into()), Expr::Opaque("y".into())],
+                true,
+            )
+            .call("max_safe_altitude"),
+    )
 }
 
 /// Program 4: coarse-grained Terrain Masking — the `for thread` loop,
 /// with and without the pragma.
 pub fn program4_terrain_coarse(with_pragma: bool) -> LoopNest {
-    let l = LoopNest::new("for thread (Program 4, multithreaded Terrain Masking)", "thread")
-        .private(&["threat", "x", "y", "temp"])
-        .stmt(
-            Stmt::new("threat = next unprocessed threat")
-                .reads(&["next_threat"])
-                .writes(&["next_threat"]),
-        )
-        .stmt(
-            Stmt::new("lock(locks[i][j]); masking = Min(masking, temp); unlock")
-                .array(
-                    "masking",
-                    vec![Expr::Opaque("x in block".into()), Expr::Opaque("y in block".into())],
-                    true,
-                )
-                .array("locks", vec![Expr::Opaque("i".into()), Expr::Opaque("j".into())], true)
-                .call("max_safe_altitude"),
-        );
+    let l = LoopNest::new(
+        "for thread (Program 4, multithreaded Terrain Masking)",
+        "thread",
+    )
+    .private(&["threat", "x", "y", "temp"])
+    .stmt(
+        Stmt::new("threat = next unprocessed threat")
+            .reads(&["next_threat"])
+            .writes(&["next_threat"]),
+    )
+    .stmt(
+        Stmt::new("lock(locks[i][j]); masking = Min(masking, temp); unlock")
+            .array(
+                "masking",
+                vec![
+                    Expr::Opaque("x in block".into()),
+                    Expr::Opaque("y in block".into()),
+                ],
+                true,
+            )
+            .array(
+                "locks",
+                vec![Expr::Opaque("i".into()), Expr::Opaque("j".into())],
+                true,
+            )
+            .call("max_safe_altitude"),
+    );
     if with_pragma {
         l.pragma()
     } else {
@@ -147,15 +191,26 @@ mod tests {
         assert!(!v.parallel);
         // The three cited obstacles: shared counter, data-dependent store,
         // opaque calls.
-        assert!(v.reasons.iter().any(|r| matches!(r, Reason::ScalarDependence { name } if name == "num_intervals")));
-        assert!(v.reasons.iter().any(|r| matches!(r, Reason::DataDependentSubscript { array } if array == "intervals")));
-        assert!(v.reasons.iter().any(|r| matches!(r, Reason::OpaqueCall { .. })));
+        assert!(v
+            .reasons
+            .iter()
+            .any(|r| matches!(r, Reason::ScalarDependence { name } if name == "num_intervals")));
+        assert!(v.reasons.iter().any(
+            |r| matches!(r, Reason::DataDependentSubscript { array } if array == "intervals")
+        ));
+        assert!(v
+            .reasons
+            .iter()
+            .any(|r| matches!(r, Reason::OpaqueCall { .. })));
     }
 
     #[test]
     fn program2_needs_the_pragma() {
         let without = analyze_loop(&program2_threat_chunked(false));
-        assert!(!without.parallel, "call chains must still block analysis: {without:?}");
+        assert!(
+            !without.parallel,
+            "call chains must still block analysis: {without:?}"
+        );
         let with = analyze_loop(&program2_threat_chunked(true));
         assert!(with.parallel && with.by_pragma);
     }
@@ -164,7 +219,10 @@ mod tests {
     fn program3_is_rejected_for_overlapping_regions() {
         let v = analyze_loop(&program3_terrain_sequential());
         assert!(!v.parallel);
-        assert!(v.reasons.iter().any(|r| matches!(r, Reason::DataDependentSubscript { array } if array == "masking")));
+        assert!(v
+            .reasons
+            .iter()
+            .any(|r| matches!(r, Reason::DataDependentSubscript { array } if array == "masking")));
     }
 
     #[test]

@@ -38,16 +38,25 @@ impl std::fmt::Display for Reason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Reason::ScalarDependence { name } => {
-                write!(f, "scalar `{name}` is written by every iteration (carried dependence)")
+                write!(
+                    f,
+                    "scalar `{name}` is written by every iteration (carried dependence)"
+                )
             }
             Reason::DataDependentSubscript { array } => {
-                write!(f, "store to `{array}` has a data-dependent subscript; iterations may collide")
+                write!(
+                    f,
+                    "store to `{array}` has a data-dependent subscript; iterations may collide"
+                )
             }
             Reason::ArrayConflict { array, with } => {
                 write!(f, "references to `{array}` may touch the same element across iterations (vs {with})")
             }
             Reason::OpaqueCall { name } => {
-                write!(f, "call to `{name}` cannot be analyzed (separate compilation / pointers)")
+                write!(
+                    f,
+                    "call to `{name}` cannot be analyzed (separate compilation / pointers)"
+                )
             }
         }
     }
@@ -70,7 +79,11 @@ pub struct LoopVerdict {
 impl std::fmt::Display for LoopVerdict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.parallel && self.by_pragma {
-            writeln!(f, "{}: PARALLEL (by explicit pragma — independence asserted by programmer)", self.loop_label)
+            writeln!(
+                f,
+                "{}: PARALLEL (by explicit pragma — independence asserted by programmer)",
+                self.loop_label
+            )
         } else if self.parallel {
             writeln!(f, "{}: PARALLEL (proved independent)", self.loop_label)
         } else {
@@ -106,7 +119,11 @@ impl Report {
 
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "automatic parallelization report ({} loops analyzed)", self.verdicts.len())?;
+        writeln!(
+            f,
+            "automatic parallelization report ({} loops analyzed)",
+            self.verdicts.len()
+        )?;
         for v in &self.verdicts {
             write!(f, "{v}")?;
         }
@@ -120,9 +137,13 @@ mod tests {
 
     #[test]
     fn reasons_render_readably() {
-        let r = Reason::ScalarDependence { name: "num_intervals".into() };
+        let r = Reason::ScalarDependence {
+            name: "num_intervals".into(),
+        };
         assert!(r.to_string().contains("num_intervals"));
-        let r = Reason::OpaqueCall { name: "can_intercept".into() };
+        let r = Reason::OpaqueCall {
+            name: "can_intercept".into(),
+        };
         assert!(r.to_string().contains("can_intercept"));
     }
 
@@ -143,8 +164,18 @@ mod tests {
     fn report_aggregates() {
         let report = Report {
             verdicts: vec![
-                LoopVerdict { loop_label: "a".into(), parallel: false, by_pragma: false, reasons: vec![] },
-                LoopVerdict { loop_label: "b".into(), parallel: true, by_pragma: true, reasons: vec![] },
+                LoopVerdict {
+                    loop_label: "a".into(),
+                    parallel: false,
+                    by_pragma: false,
+                    reasons: vec![],
+                },
+                LoopVerdict {
+                    loop_label: "b".into(),
+                    parallel: true,
+                    by_pragma: true,
+                    reasons: vec![],
+                },
             ],
         };
         assert!(!report.any_auto_parallel());

@@ -26,8 +26,14 @@ struct GenAccess {
 }
 
 fn arb_access() -> impl Strategy<Value = GenAccess> {
-    (0usize..2, -3i64..4, -10i64..10, any::<bool>())
-        .prop_map(|(array, scale, offset, write)| GenAccess { array, scale, offset, write })
+    (0usize..2, -3i64..4, -10i64..10, any::<bool>()).prop_map(|(array, scale, offset, write)| {
+        GenAccess {
+            array,
+            scale,
+            offset,
+            write,
+        }
+    })
 }
 
 fn build_loop(accesses: &[GenAccess]) -> LoopNest {
@@ -35,7 +41,11 @@ fn build_loop(accesses: &[GenAccess]) -> LoopNest {
     for a in accesses {
         stmt.arrays.push(ArrayRef {
             array: format!("arr{}", a.array),
-            indices: vec![Expr::Affine { var: "i".into(), scale: a.scale, offset: a.offset }],
+            indices: vec![Expr::Affine {
+                var: "i".into(),
+                scale: a.scale,
+                offset: a.offset,
+            }],
             write: a.write,
         });
     }

@@ -120,8 +120,12 @@ fn bench_mta_parameter_sensitivity(c: &mut Criterion) {
         let mut m = base.clone();
         m.issue_latency = issue;
         m.mem_latency = mem;
-        let secs: f64 =
-            e.workload.ta_seq.iter().map(|p| m.seq_seconds(p, e.cal.s_ta)).sum();
+        let secs: f64 = e
+            .workload
+            .ta_seq
+            .iter()
+            .map(|p| m.seq_seconds(p, e.cal.s_ta))
+            .sum();
         println!("  {label:<38} {secs:>8.1} s");
     }
     let mut g = c.benchmark_group("ablation_mta_params");

@@ -45,10 +45,16 @@ fn bench_host_threat(c: &mut Criterion) {
             }))
         })
     });
-    g.bench_function("sequential", |b| b.iter(|| black_box(threat::threat_analysis_host(&scenario))));
+    g.bench_function("sequential", |b| {
+        b.iter(|| black_box(threat::threat_analysis_host(&scenario)))
+    });
     for threads in [1usize, 2, 4] {
         g.bench_function(format!("chunked_{threads}threads"), |b| {
-            b.iter(|| black_box(threat::threat_analysis_chunked_host(&scenario, threads, threads)))
+            b.iter(|| {
+                black_box(threat::threat_analysis_chunked_host(
+                    &scenario, threads, threads,
+                ))
+            })
         });
     }
     g.bench_function("chunked_256chunks", |b| {
@@ -79,7 +85,9 @@ fn bench_host_terrain(c: &mut Criterion) {
             }))
         })
     });
-    g.bench_function("sequential", |b| b.iter(|| black_box(terrain::terrain_masking_host(&scenario))));
+    g.bench_function("sequential", |b| {
+        b.iter(|| black_box(terrain::terrain_masking_host(&scenario)))
+    });
     for threads in [1usize, 2, 4] {
         g.bench_function(format!("coarse_{threads}threads"), |b| {
             b.iter(|| black_box(terrain::terrain_masking_coarse_host(&scenario, threads, 10)))
@@ -95,5 +103,10 @@ fn bench_host_terrain(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_figures, bench_host_threat, bench_host_terrain);
+criterion_group!(
+    benches,
+    bench_figures,
+    bench_host_threat,
+    bench_host_terrain
+);
 criterion_main!(benches);

@@ -11,14 +11,20 @@ use mta_sim::{Machine, MtaConfig};
 use std::hint::black_box;
 
 fn cfg1() -> MtaConfig {
-    MtaConfig { mem_words: 1 << 20, ..MtaConfig::tera(1) }
+    MtaConfig {
+        mem_words: 1 << 20,
+        ..MtaConfig::tera(1)
+    }
 }
 
 fn bench_utilization(c: &mut Criterion) {
     // Print the curve once — this is the §7 "80 streams" experiment.
     println!("utilization vs streams (mta-sim, 25% memory mix):");
     for s in [1usize, 8, 21, 40, 64, 80, 128] {
-        println!("  {s:>3} streams: {:.3}", measure_utilization(cfg1(), s, 400, 3));
+        println!(
+            "  {s:>3} streams: {:.3}",
+            measure_utilization(cfg1(), s, 400, 3)
+        );
     }
     let mut g = c.benchmark_group("mta_utilization");
     g.sample_size(10);
@@ -62,7 +68,10 @@ fn bench_kernels(c: &mut Criterion) {
 }
 
 fn bench_banks(c: &mut Criterion) {
-    let big = || MtaConfig { mem_words: 1 << 23, ..MtaConfig::tera(1) };
+    let big = || MtaConfig {
+        mem_words: 1 << 23,
+        ..MtaConfig::tera(1)
+    };
     // Report the hot-bank effect once.
     let (_, cold) = run_kernel(big(), mem_kernel(64, 100, 1, 4096), &[]);
     let (_, hot) = run_kernel(big(), mem_kernel(64, 100, 64, 4096), &[]);
@@ -94,5 +103,11 @@ fn bench_sim_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_utilization, bench_kernels, bench_banks, bench_sim_throughput);
+criterion_group!(
+    benches,
+    bench_utilization,
+    bench_kernels,
+    bench_banks,
+    bench_sim_throughput
+);
 criterion_main!(benches);

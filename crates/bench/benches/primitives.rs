@@ -57,9 +57,11 @@ fn bench_parallel_structures(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("spawn_region_4threads", |b| {
         // The cost the models charge at 50k cycles/thread on 1998 SMPs.
-        b.iter(|| multithreaded_for(0..4, 4, Schedule::Static, |i| {
-            black_box(i);
-        }))
+        b.iter(|| {
+            multithreaded_for(0..4, 4, Schedule::Static, |i| {
+                black_box(i);
+            })
+        })
     });
     g.bench_function("barrier_x10_4threads", |b| {
         b.iter(|| {
@@ -77,5 +79,10 @@ fn bench_parallel_structures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_syncvar, bench_counters_and_queues, bench_parallel_structures);
+criterion_group!(
+    benches,
+    bench_syncvar,
+    bench_counters_and_queues,
+    bench_parallel_structures
+);
 criterion_main!(benches);

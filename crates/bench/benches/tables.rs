@@ -39,7 +39,9 @@ fn bench_tables(c: &mut Criterion) {
     g.bench_function("ta_chunk_profile_256", |b| {
         b.iter(|| black_box(e.workload.ta_chunked(256)))
     });
-    g.bench_function("tm_greedy_bins_16", |b| b.iter(|| black_box(e.workload.tm_coarse(16))));
+    g.bench_function("tm_greedy_bins_16", |b| {
+        b.iter(|| black_box(e.workload.tm_coarse(16)))
+    });
     g.finish();
 }
 

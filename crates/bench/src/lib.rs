@@ -14,12 +14,13 @@
 //!   granularity, static vs dynamic scheduling, chunk count, and MTA
 //!   latency-parameter sensitivity.
 
-use eval_core::{Experiments, Workload, WorkloadScale};
+use eval_core::{Experiments, WorkloadScale};
 use std::sync::OnceLock;
 
-/// The shared reduced-scale experiment harness (workload measurement and
-/// calibration run once per bench process).
+/// The shared reduced-scale experiment harness. Loaded from the on-disk
+/// snapshot cache when one is fresh (`eval_core::cache`), so repeated
+/// bench runs skip workload measurement and calibration entirely.
 pub fn experiments() -> &'static Experiments {
     static E: OnceLock<Experiments> = OnceLock::new();
-    E.get_or_init(|| Experiments::new(Workload::build(WorkloadScale::Reduced)))
+    E.get_or_init(|| Experiments::load_or_measure(WorkloadScale::Reduced).0)
 }

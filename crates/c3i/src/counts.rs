@@ -94,7 +94,7 @@ impl Rec for OpRecorder {
 /// The operation profile of one benchmark run: a serial phase (input setup,
 /// result initialization the paper's programs perform on one thread) and a
 /// parallel region with per-logical-thread counts.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Profile {
     /// Work performed before/after the parallel region on a single thread.
     pub serial: OpCounts,
@@ -107,7 +107,10 @@ impl Profile {
     /// A purely sequential profile (the whole program is the serial phase
     /// plus a single-thread "region" holding the main computation).
     pub fn sequential(serial: OpCounts, main: OpCounts) -> Self {
-        Self { serial, parallel: ThreadCounts::new(vec![main]) }
+        Self {
+            serial,
+            parallel: ThreadCounts::new(vec![main]),
+        }
     }
 
     /// Sum of all operations in the run.
@@ -125,7 +128,7 @@ impl Profile {
 /// `ops` in total. The fine-grained Terrain Masking variant is a sequence
 /// of these (one per ring of the masking recurrence, plus the bulk
 /// copy/merge loops), separated by barriers.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ParallelPhase {
     /// Number of independent iterations available to run concurrently.
     pub width: u64,
@@ -138,7 +141,7 @@ pub struct ParallelPhase {
 /// phases. The machine models charge each phase at the concurrency its
 /// `width` supports — this is what makes narrow rings limit the Tera's
 /// two-processor speedup (Table 11).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PhasedProfile {
     /// Work performed on a single thread outside the parallel phases.
     pub serial: OpCounts,
@@ -149,7 +152,9 @@ pub struct PhasedProfile {
 impl PhasedProfile {
     /// Sum of all operations in the run.
     pub fn total(&self) -> OpCounts {
-        self.phases.iter().fold(self.serial, |acc, p| acc.merged(&p.ops))
+        self.phases
+            .iter()
+            .fold(self.serial, |acc, p| acc.merged(&p.ops))
     }
 
     /// Number of barrier-separated phases.
@@ -177,7 +182,10 @@ mod tests {
     use super::*;
 
     fn ops(int_ops: u64) -> OpCounts {
-        OpCounts { int_ops, ..OpCounts::default() }
+        OpCounts {
+            int_ops,
+            ..OpCounts::default()
+        }
     }
 
     #[test]
@@ -204,7 +212,10 @@ mod tests {
 
     #[test]
     fn profile_total_includes_serial_and_parallel() {
-        let p = Profile { serial: ops(10), parallel: ThreadCounts::new(vec![ops(5), ops(7)]) };
+        let p = Profile {
+            serial: ops(10),
+            parallel: ThreadCounts::new(vec![ops(5), ops(7)]),
+        };
         assert_eq!(p.total().int_ops, 22);
         assert_eq!(p.n_logical_threads(), 2);
     }
@@ -221,8 +232,14 @@ mod tests {
         let p = PhasedProfile {
             serial: ops(5),
             phases: vec![
-                ParallelPhase { width: 10, ops: ops(100) },
-                ParallelPhase { width: 40, ops: ops(300) },
+                ParallelPhase {
+                    width: 10,
+                    ops: ops(100),
+                },
+                ParallelPhase {
+                    width: 40,
+                    ops: ops(300),
+                },
             ],
         };
         assert_eq!(p.total().int_ops, 405);

@@ -20,7 +20,11 @@ pub struct Grid<T> {
 impl<T: Clone> Grid<T> {
     /// A grid filled with `fill`.
     pub fn new(x_size: usize, y_size: usize, fill: T) -> Self {
-        Self { x_size, y_size, data: vec![fill; x_size * y_size] }
+        Self {
+            x_size,
+            y_size,
+            data: vec![fill; x_size * y_size],
+        }
     }
 }
 
@@ -33,7 +37,11 @@ impl<T> Grid<T> {
                 data.push(f(x, y));
             }
         }
-        Self { x_size, y_size, data }
+        Self {
+            x_size,
+            y_size,
+            data,
+        }
     }
 
     /// Grid width (number of `x` positions).
@@ -81,7 +89,10 @@ impl<T> Grid<T> {
 
     /// Iterate `(x, y, &value)` in row-major order.
     pub fn iter_cells(&self) -> impl Iterator<Item = (usize, usize, &T)> {
-        self.data.iter().enumerate().map(move |(i, v)| (i % self.x_size, i / self.x_size, v))
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (i % self.x_size, i / self.x_size, v))
     }
 }
 

@@ -19,8 +19,8 @@ use super::scenario::TerrainScenario;
 use crate::counts::{NoRec, Profile, Rec};
 use crate::grid::Grid;
 use parking_lot::Mutex;
-use sthreads::{scope_threads, OpRecorder, ThreadCounts, WorkQueue};
 use std::sync::atomic::{AtomicU64, Ordering};
+use sthreads::{scope_threads, OpRecorder, ThreadCounts, WorkQueue};
 
 /// The paper's block decomposition: `nb × nb` equal-ish blocks over the
 /// terrain, one lock per block ("ten-by-ten blocking").
@@ -37,7 +37,13 @@ impl Blocking {
     /// Block an `x_size × y_size` grid into `nb × nb` blocks.
     pub fn new(x_size: usize, y_size: usize, nb: usize) -> Self {
         assert!(nb > 0 && x_size > 0 && y_size > 0);
-        Self { nb, bw: x_size.div_ceil(nb), bh: y_size.div_ceil(nb), x_size, y_size }
+        Self {
+            nb,
+            bw: x_size.div_ceil(nb),
+            bh: y_size.div_ceil(nb),
+            x_size,
+            y_size,
+        }
     }
 
     /// Number of blocks per side.
@@ -87,7 +93,10 @@ struct SharedMaskGrid {
 impl SharedMaskGrid {
     fn new_infinite(x_size: usize, y_size: usize) -> Self {
         let bits = f64::INFINITY.to_bits();
-        Self { x_size, data: (0..x_size * y_size).map(|_| AtomicU64::new(bits)).collect() }
+        Self {
+            x_size,
+            data: (0..x_size * y_size).map(|_| AtomicU64::new(bits)).collect(),
+        }
     }
 
     #[inline]
@@ -202,7 +211,12 @@ pub fn greedy_bins(per_item: &[sthreads::OpCounts], n_threads: usize) -> ThreadC
     let mut bins = vec![sthreads::OpCounts::default(); n];
     let mut load = vec![0u64; n];
     for c in per_item {
-        let t = load.iter().enumerate().min_by_key(|&(_, &l)| l).map(|(i, _)| i).unwrap();
+        let t = load
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &l)| l)
+            .map(|(i, _)| i)
+            .unwrap();
         bins[t].add(c);
         load[t] += c.instructions();
     }
@@ -240,7 +254,10 @@ pub fn terrain_masking_coarse(
 
     (
         masking.into_grid(terrain.y_size()),
-        Profile { serial: serial.counts(), parallel: greedy_bins(&per_threat, n_threads) },
+        Profile {
+            serial: serial.counts(),
+            parallel: greedy_bins(&per_threat, n_threads),
+        },
     )
 }
 
@@ -278,7 +295,15 @@ mod tests {
     #[test]
     fn blocks_overlapping_finds_the_right_blocks() {
         let b = Blocking::new(100, 100, 10);
-        let region = Region { cx: 15, cy: 15, radius: 10, x0: 5, y0: 5, x1: 25, y1: 25 };
+        let region = Region {
+            cx: 15,
+            cy: 15,
+            radius: 10,
+            x0: 5,
+            y0: 5,
+            x1: 25,
+            y1: 25,
+        };
         let blocks = b.blocks_overlapping(&region);
         // Region spans cells 5..=25 → blocks 0..=2 on each axis.
         assert_eq!(blocks.len(), 9);
@@ -313,7 +338,10 @@ mod tests {
         let (counted, profile) = terrain_masking_coarse(&s, 4, 10);
         assert_eq!(counted, host);
         assert_eq!(profile.n_logical_threads(), 4);
-        assert!(profile.parallel.total().sync_ops > 0, "lock traffic must be recorded");
+        assert!(
+            profile.parallel.total().sync_ops > 0,
+            "lock traffic must be recorded"
+        );
     }
 
     #[test]

@@ -93,7 +93,11 @@ pub fn exact_per_threat_masking(
             let dy = y as f64 - region.cy as f64;
             (dx * dx + dy * dy).sqrt() * cell_size
         };
-        let raw = if b == f64::NEG_INFINITY { f64::NEG_INFINITY } else { h_s + b * d };
+        let raw = if b == f64::NEG_INFINITY {
+            f64::NEG_INFINITY
+        } else {
+            h_s + b * d
+        };
         out.set(x, y, clamp_alt(raw, terrain[(x, y)]));
     }
     (region, out)
@@ -163,7 +167,12 @@ mod tests {
         for y in 0..size {
             terrain[(c + 4, y)] = 300.0;
         }
-        let t = GroundThreat { x: c, y: c, radius: 15, mast_height: 10.0 };
+        let t = GroundThreat {
+            x: c,
+            y: c,
+            radius: 15,
+            mast_height: 10.0,
+        };
         let (_, approx) = super::super::los::per_threat_masking(&terrain, 100.0, &t);
         let (_, exact) = exact_per_threat_masking(&terrain, 100.0, &t, 0.25);
         for dist in 6..=15 {
@@ -182,7 +191,12 @@ mod tests {
         let mut terrain = flat(size, 0.0);
         let c = size / 2;
         terrain[(c + 3, c + 3)] = 400.0;
-        let t = GroundThreat { x: c, y: c, radius: 14, mast_height: 10.0 };
+        let t = GroundThreat {
+            x: c,
+            y: c,
+            radius: 14,
+            mast_height: 10.0,
+        };
         let (_, approx) = super::super::los::per_threat_masking(&terrain, 100.0, &t);
         let (_, exact) = exact_per_threat_masking(&terrain, 100.0, &t, 0.25);
         for d in 5..=14 {
@@ -198,41 +212,52 @@ mod tests {
     fn recurrence_tracks_the_oracle_on_smooth_terrain() {
         // On fractal terrain with ~1500 m relief, the XDraw approximation
         // should track the exact field closely in the mean.
-        let scenario = super::super::scenario::generate(
-            super::super::scenario::TerrainScenarioParams {
+        let scenario =
+            super::super::scenario::generate(super::super::scenario::TerrainScenarioParams {
                 grid_size: 128,
                 n_threats: 1,
                 seed: 17,
                 ..Default::default()
-            },
-        );
-        let t = GroundThreat { x: 64, y: 64, radius: 30, mast_height: 15.0 };
+            });
+        let t = GroundThreat {
+            x: 64,
+            y: 64,
+            radius: 30,
+            mast_height: 15.0,
+        };
         let (mean, max) = compare_with_recurrence(&scenario.terrain, scenario.cell_size_m, &t, 0.5);
-        assert!(mean < 30.0, "mean masking error too large: {mean} m (max {max})");
+        assert!(
+            mean < 30.0,
+            "mean masking error too large: {mean} m (max {max})"
+        );
     }
 
     #[test]
     fn oracle_is_monotone_in_sampling_resolution() {
         // Finer sampling can only find more blocking (higher slopes).
-        let scenario = super::super::scenario::generate(
-            super::super::scenario::TerrainScenarioParams {
+        let scenario =
+            super::super::scenario::generate(super::super::scenario::TerrainScenarioParams {
                 grid_size: 96,
                 n_threats: 1,
                 seed: 4,
                 ..Default::default()
+            });
+        let h_s = sensor_height(
+            &scenario.terrain,
+            &GroundThreat {
+                x: 48,
+                y: 48,
+                radius: 20,
+                mast_height: 10.0,
             },
         );
-        let h_s = sensor_height(&scenario.terrain, &GroundThreat {
-            x: 48,
-            y: 48,
-            radius: 20,
-            mast_height: 10.0,
-        });
         for &(x, y) in &[(60usize, 52usize), (33, 41), (48, 66)] {
-            let coarse =
-                exact_blocking_slope(&scenario.terrain, 100.0, h_s, 48, 48, x, y, 1.0);
+            let coarse = exact_blocking_slope(&scenario.terrain, 100.0, h_s, 48, 48, x, y, 1.0);
             let fine = exact_blocking_slope(&scenario.terrain, 100.0, h_s, 48, 48, x, y, 0.1);
-            assert!(fine >= coarse - 1e-12, "({x},{y}): fine {fine} < coarse {coarse}");
+            assert!(
+                fine >= coarse - 1e-12,
+                "({x},{y}): fine {fine} < coarse {coarse}"
+            );
         }
     }
 }

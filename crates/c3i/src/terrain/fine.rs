@@ -22,8 +22,8 @@ use super::los::{clamp_alt, raw_alt_for_cell, sensor_height, AltStore, Region, S
 use super::scenario::TerrainScenario;
 use crate::counts::{NoRec, ParallelPhase, PhasedProfile};
 use crate::grid::Grid;
-use sthreads::{multithreaded_for, OpRecorder, Schedule};
 use std::sync::atomic::{AtomicU64, Ordering};
+use sthreads::{multithreaded_for, OpRecorder, Schedule};
 
 /// Fine-grained Terrain Masking on real host threads. Produces the same
 /// grid as Programs 3 and 4 bit-for-bit. `n_threads` is the worker count
@@ -57,8 +57,7 @@ pub fn terrain_masking_fine_host(scenario: &TerrainScenario, n_threads: usize) -
         }
         for k in 2..=region.radius {
             let ring = region.ring(k);
-            let results: Vec<AtomicU64> =
-                (0..ring.len()).map(|_| AtomicU64::new(0)).collect();
+            let results: Vec<AtomicU64> = (0..ring.len()).map(|_| AtomicU64::new(0)).collect();
             {
                 let masking_ref = &masking;
                 let ring_ref = &ring;
@@ -80,7 +79,12 @@ pub fn terrain_masking_fine_host(scenario: &TerrainScenario, n_threads: usize) -
                 });
             }
             for (i, &(x, y)) in ring.iter().enumerate() {
-                AltStore::set(&mut masking, x, y, f64::from_bits(results[i].load(Ordering::Relaxed)));
+                AltStore::set(
+                    &mut masking,
+                    x,
+                    y,
+                    f64::from_bits(results[i].load(Ordering::Relaxed)),
+                );
             }
         }
 
@@ -111,9 +115,10 @@ pub fn terrain_masking_fine(scenario: &TerrainScenario) -> (Grid<f64>, PhasedPro
     {
         let mut r = OpRecorder::new();
         r.sstore(terrain.len() as u64);
-        profile
-            .phases
-            .push(ParallelPhase { width: terrain.len() as u64, ops: r.counts() });
+        profile.phases.push(ParallelPhase {
+            width: terrain.len() as u64,
+            ops: r.counts(),
+        });
     }
 
     for threat in &scenario.threats {
@@ -131,7 +136,10 @@ pub fn terrain_masking_fine(scenario: &TerrainScenario) -> (Grid<f64>, PhasedPro
             r.sload(1);
             r.sstore(1);
         }
-        profile.phases.push(ParallelPhase { width: cells.len() as u64, ops: r.counts() });
+        profile.phases.push(ParallelPhase {
+            width: cells.len() as u64,
+            ops: r.counts(),
+        });
 
         // Phase: parallel reset.
         let mut r = OpRecorder::new();
@@ -139,7 +147,10 @@ pub fn terrain_masking_fine(scenario: &TerrainScenario) -> (Grid<f64>, PhasedPro
             AltStore::set(&mut masking, x, y, f64::INFINITY);
             r.sstore(1);
         }
-        profile.phases.push(ParallelPhase { width: cells.len() as u64, ops: r.counts() });
+        profile.phases.push(ParallelPhase {
+            width: cells.len() as u64,
+            ops: r.counts(),
+        });
 
         // Ring phases.
         let mut r = OpRecorder::new();
@@ -148,7 +159,10 @@ pub fn terrain_masking_fine(scenario: &TerrainScenario) -> (Grid<f64>, PhasedPro
             AltStore::set(&mut masking, x, y, f64::NEG_INFINITY);
             r.sstore(1);
         }
-        profile.phases.push(ParallelPhase { width: inner.len() as u64, ops: r.counts() });
+        profile.phases.push(ParallelPhase {
+            width: inner.len() as u64,
+            ops: r.counts(),
+        });
         for k in 2..=region.radius {
             let ring = region.ring(k);
             let mut r = OpRecorder::new();
@@ -172,7 +186,10 @@ pub fn terrain_masking_fine(scenario: &TerrainScenario) -> (Grid<f64>, PhasedPro
                 AltStore::set(&mut masking, x, y, v);
                 r.sstore(1);
             }
-            profile.phases.push(ParallelPhase { width: ring.len() as u64, ops: r.counts() });
+            profile.phases.push(ParallelPhase {
+                width: ring.len() as u64,
+                ops: r.counts(),
+            });
         }
 
         // Phase: parallel min-merge.
@@ -185,7 +202,10 @@ pub fn terrain_masking_fine(scenario: &TerrainScenario) -> (Grid<f64>, PhasedPro
             r.fp(2);
             r.sstore(1);
         }
-        profile.phases.push(ParallelPhase { width: cells.len() as u64, ops: r.counts() });
+        profile.phases.push(ParallelPhase {
+            width: cells.len() as u64,
+            ops: r.counts(),
+        });
     }
 
     profile.serial = serial.counts();

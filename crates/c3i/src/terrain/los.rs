@@ -46,7 +46,10 @@ pub struct Region {
 impl Region {
     /// The region of influence of `threat` on an `x_size × y_size` grid.
     pub fn of(threat: &GroundThreat, x_size: usize, y_size: usize) -> Self {
-        assert!(threat.x < x_size && threat.y < y_size, "threat must be on the grid");
+        assert!(
+            threat.x < x_size && threat.y < y_size,
+            "threat must be on the grid"
+        );
         let r = threat.radius;
         Self {
             cx: threat.x,
@@ -218,14 +221,22 @@ pub fn raw_alt_for_cell<S: AltStore, R: Rec>(
         let elev = terrain[(pxu, pyu)];
         r.sload(2); // raw + terrain, streaming over large grids
         r.fp(7); // distance, two slopes, max
-        let b = if raw == f64::NEG_INFINITY { f64::NEG_INFINITY } else { (raw - h_s) / d };
+        let b = if raw == f64::NEG_INFINITY {
+            f64::NEG_INFINITY
+        } else {
+            (raw - h_s) / d
+        };
         let slope = (elev - h_s) / d;
         b.max(slope)
     };
 
     let v = if dx.abs() == dy.abs() {
         // Diagonal: single parent one step in on both axes.
-        parent_v(cx as isize + dx.signum() * (k - 1), cy as isize + dy.signum() * (k - 1), r)
+        parent_v(
+            cx as isize + dx.signum() * (k - 1),
+            cy as isize + dy.signum() * (k - 1),
+            r,
+        )
     } else if dx.abs() > dy.abs() {
         // x-dominant: parents on the vertical edge of ring k-1.
         let px = cx as isize + dx.signum() * (k - 1);
@@ -287,7 +298,9 @@ pub fn compute_raw_alts<S: AltStore, R: Rec>(
     }
     for k in 2..=region.radius {
         for (x, y) in region.ring(k) {
-            let v = raw_alt_for_cell(terrain, cell_size, h_s, region.cx, region.cy, x, y, store, r);
+            let v = raw_alt_for_cell(
+                terrain, cell_size, h_s, region.cx, region.cy, x, y, store, r,
+            );
             store.set(x, y, v);
             r.sstore(1);
         }
@@ -305,10 +318,21 @@ pub fn clamp_alt(raw: f64, elev: f64) -> f64 {
 
 /// Convenience: the complete per-threat masking field over the threat's
 /// region (clamped), as a scratch array. Used by the verifier and tests.
-pub fn per_threat_masking(terrain: &Grid<f64>, cell_size: f64, threat: &GroundThreat) -> (Region, ScratchAlt) {
+pub fn per_threat_masking(
+    terrain: &Grid<f64>,
+    cell_size: f64,
+    threat: &GroundThreat,
+) -> (Region, ScratchAlt) {
     let region = Region::of(threat, terrain.x_size(), terrain.y_size());
     let mut scratch = ScratchAlt::new(&region, f64::INFINITY);
-    compute_raw_alts(terrain, cell_size, threat, &region, &mut scratch, &mut crate::counts::NoRec);
+    compute_raw_alts(
+        terrain,
+        cell_size,
+        threat,
+        &region,
+        &mut scratch,
+        &mut crate::counts::NoRec,
+    );
     // Clamp in place.
     let mut clamped = scratch.clone();
     for (x, y) in region.cells() {
@@ -327,12 +351,22 @@ mod tests {
     }
 
     fn center_threat(size: usize, radius: usize) -> GroundThreat {
-        GroundThreat { x: size / 2, y: size / 2, radius, mast_height: 20.0 }
+        GroundThreat {
+            x: size / 2,
+            y: size / 2,
+            radius,
+            mast_height: 20.0,
+        }
     }
 
     #[test]
     fn region_clips_to_grid() {
-        let t = GroundThreat { x: 2, y: 3, radius: 5, mast_height: 10.0 };
+        let t = GroundThreat {
+            x: 2,
+            y: 3,
+            radius: 5,
+            mast_height: 10.0,
+        };
         let r = Region::of(&t, 10, 10);
         assert_eq!((r.x0, r.y0, r.x1, r.y1), (0, 0, 7, 8));
         assert_eq!(r.n_cells(), 8 * 9);
@@ -359,7 +393,12 @@ mod tests {
 
     #[test]
     fn rings_partition_the_region() {
-        let t = GroundThreat { x: 3, y: 4, radius: 6, mast_height: 10.0 };
+        let t = GroundThreat {
+            x: 3,
+            y: 4,
+            radius: 6,
+            mast_height: 10.0,
+        };
         let r = Region::of(&t, 20, 20);
         let mut from_rings: Vec<(usize, usize)> = (0..=6).flat_map(|k| r.ring(k)).collect();
         from_rings.sort_unstable();
@@ -370,9 +409,33 @@ mod tests {
 
     #[test]
     fn overlap_detection() {
-        let a = Region { cx: 5, cy: 5, radius: 3, x0: 2, y0: 2, x1: 8, y1: 8 };
-        let b = Region { cx: 10, cy: 10, radius: 3, x0: 7, y0: 7, x1: 13, y1: 13 };
-        let c = Region { cx: 20, cy: 20, radius: 2, x0: 18, y0: 18, x1: 22, y1: 22 };
+        let a = Region {
+            cx: 5,
+            cy: 5,
+            radius: 3,
+            x0: 2,
+            y0: 2,
+            x1: 8,
+            y1: 8,
+        };
+        let b = Region {
+            cx: 10,
+            cy: 10,
+            radius: 3,
+            x0: 7,
+            y0: 7,
+            x1: 13,
+            y1: 13,
+        };
+        let c = Region {
+            cx: 20,
+            cy: 20,
+            radius: 2,
+            x0: 18,
+            y0: 18,
+            x1: 22,
+            y1: 22,
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));
@@ -400,7 +463,12 @@ mod tests {
         for y in 0..size {
             terrain[(c + 3, y)] = 500.0;
         }
-        let t = GroundThreat { x: c, y: c, radius: 18, mast_height: 10.0 };
+        let t = GroundThreat {
+            x: c,
+            y: c,
+            radius: 18,
+            mast_height: 10.0,
+        };
         let (_, masked) = per_threat_masking(&terrain, 100.0, &t);
         // Directly east, beyond the wall, masking must exceed ground and
         // increase with distance.
@@ -423,7 +491,12 @@ mod tests {
         let mut terrain = flat_terrain(size, 0.0);
         let c = size / 2;
         terrain[(c + 4, c)] = 300.0;
-        let t = GroundThreat { x: c, y: c, radius: 18, mast_height: 10.0 };
+        let t = GroundThreat {
+            x: c,
+            y: c,
+            radius: 18,
+            mast_height: 10.0,
+        };
         let (_, masked) = per_threat_masking(&terrain, 100.0, &t);
         let h_s = 10.0;
         let d_wall = 4.0 * 100.0;
@@ -462,7 +535,7 @@ mod tests {
         for (x, y) in region.cells() {
             let a = scratch.get(x, y);
             let b = AltStore::get(&full, x, y);
-            assert!(a == b || (a.is_infinite() && b.is_infinite() && a == b), "({x},{y}): {a} vs {b}");
+            assert!(a == b, "({x},{y}): {a} vs {b}");
         }
     }
 

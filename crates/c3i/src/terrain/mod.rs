@@ -43,7 +43,9 @@ pub mod scenario;
 pub mod sequential;
 pub mod verify;
 
-pub use coarse::{greedy_bins, per_threat_counts, terrain_masking_coarse, terrain_masking_coarse_host, Blocking};
+pub use coarse::{
+    greedy_bins, per_threat_counts, terrain_masking_coarse, terrain_masking_coarse_host, Blocking,
+};
 pub use exact::{compare_with_recurrence, exact_blocking_slope, exact_per_threat_masking};
 pub use fine::{terrain_masking_fine, terrain_masking_fine_host};
 pub use los::{per_threat_masking, Region};

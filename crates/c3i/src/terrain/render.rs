@@ -90,7 +90,9 @@ mod tests {
     #[test]
     fn small_grids_render_one_char_per_cell() {
         let g = Grid::from_fn(3, 2, |x, _| x);
-        let s = render_grid(&g, 80, 40, |_, _, &v| char::from_digit(v as u32, 10).unwrap());
+        let s = render_grid(&g, 80, 40, |_, _, &v| {
+            char::from_digit(v as u32, 10).unwrap()
+        });
         assert_eq!(s, "012\n012\n");
     }
 

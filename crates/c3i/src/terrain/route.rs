@@ -166,10 +166,15 @@ mod tests {
     #[test]
     fn route_threads_the_gap() {
         let masking = wall_with_gap(21, 17);
-        let route =
-            plan_route(&masking, 1000.0, (0, 10), (20, 10)).expect("route must exist");
-        assert_eq!(route.exposed_cells, 0, "the gap makes a clean route possible");
-        assert!(route.cells.contains(&(10, 17)), "route must pass through the gap: {route:?}");
+        let route = plan_route(&masking, 1000.0, (0, 10), (20, 10)).expect("route must exist");
+        assert_eq!(
+            route.exposed_cells, 0,
+            "the gap makes a clean route possible"
+        );
+        assert!(
+            route.cells.contains(&(10, 17)),
+            "route must pass through the gap: {route:?}"
+        );
         assert_eq!(route.cells.first(), Some(&(0, 10)));
         assert_eq!(route.cells.last(), Some(&(20, 10)));
     }
@@ -198,7 +203,10 @@ mod tests {
         for pair in route.cells.windows(2) {
             let dx = (pair[1].0 as isize - pair[0].0 as isize).abs();
             let dy = (pair[1].1 as isize - pair[0].1 as isize).abs();
-            assert!(dx <= 1 && dy <= 1 && (dx + dy) > 0, "non-adjacent step {pair:?}");
+            assert!(
+                dx <= 1 && dy <= 1 && (dx + dy) > 0,
+                "non-adjacent step {pair:?}"
+            );
         }
     }
 
@@ -255,6 +263,10 @@ mod tests {
     fn sqrt2_constant_is_used_for_diagonals() {
         let masking = Grid::new(5, 5, f64::INFINITY);
         let r = plan_route(&masking, 100.0, (0, 0), (4, 4)).unwrap();
-        assert!((r.length - 4.0 * std::f64::consts::SQRT_2).abs() < 0.01, "{}", r.length);
+        assert!(
+            (r.length - 4.0 * std::f64::consts::SQRT_2).abs() < 0.01,
+            "{}",
+            r.length
+        );
     }
 }

@@ -96,13 +96,22 @@ pub fn diamond_square(levels: u32, roughness: f64, rng: &mut impl Rng) -> Grid<f
         // Square step: edge midpoints, averaging the diamond neighbors that
         // exist (edges of the map have only three).
         for y in (0..size).step_by(half) {
-            let x_start = if (y / half).is_multiple_of(2) { half } else { 0 };
+            let x_start = if (y / half).is_multiple_of(2) {
+                half
+            } else {
+                0
+            };
             for x in (x_start..size).step_by(step) {
                 let mut sum = 0.0;
                 let mut n = 0.0;
                 let xi = x as isize;
                 let yi = y as isize;
-                for (dx, dy) in [(0isize, -(half as isize)), (0, half as isize), (-(half as isize), 0), (half as isize, 0)] {
+                for (dx, dy) in [
+                    (0isize, -(half as isize)),
+                    (0, half as isize),
+                    (-(half as isize), 0),
+                    (half as isize, 0),
+                ] {
                     if g.contains(xi + dx, yi + dy) {
                         sum += g[((xi + dx) as usize, (yi + dy) as usize)];
                         n += 1.0;
@@ -138,8 +147,9 @@ pub fn generate(params: TerrainScenarioParams) -> TerrainScenario {
     // Threat radii: up to the 5% cap, with a floor that keeps regions
     // non-trivial. A Chebyshev-radius-R region covers (2R+1)^2 cells.
     let area = (params.grid_size * params.grid_size) as f64;
-    let r_max =
-        (((params.max_region_fraction * area).sqrt() - 1.0) / 2.0).floor().max(2.0) as usize;
+    let r_max = (((params.max_region_fraction * area).sqrt() - 1.0) / 2.0)
+        .floor()
+        .max(2.0) as usize;
     let r_min = (r_max / 3).max(2);
 
     let threats = (0..params.n_threats)
@@ -151,13 +161,22 @@ pub fn generate(params: TerrainScenarioParams) -> TerrainScenario {
         })
         .collect();
 
-    TerrainScenario { terrain, threats, cell_size_m: params.cell_size_m }
+    TerrainScenario {
+        terrain,
+        threats,
+        cell_size_m: params.cell_size_m,
+    }
 }
 
 /// The five benchmark input scenarios (seeds 1–5, benchmark scale).
 pub fn benchmark_suite() -> Vec<TerrainScenario> {
     (1..=5)
-        .map(|seed| generate(TerrainScenarioParams { seed, ..TerrainScenarioParams::default() }))
+        .map(|seed| {
+            generate(TerrainScenarioParams {
+                seed,
+                ..TerrainScenarioParams::default()
+            })
+        })
         .collect()
 }
 
@@ -203,7 +222,11 @@ mod tests {
         }
         assert!(lo >= 0.0);
         assert!(hi <= 1500.0 + 1e-9);
-        assert!(hi - lo > 100.0, "terrain should have meaningful relief, got {}", hi - lo);
+        assert!(
+            hi - lo > 100.0,
+            "terrain should have meaningful relief, got {}",
+            hi - lo
+        );
     }
 
     #[test]

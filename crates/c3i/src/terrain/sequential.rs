@@ -46,7 +46,14 @@ pub fn terrain_masking<R: Rec>(scenario: &TerrainScenario, r: &mut R) -> Grid<f6
         }
 
         // masking[x][y] = maximum safe altitude due to this threat.
-        compute_raw_alts(terrain, scenario.cell_size_m, threat, &region, &mut masking, r);
+        compute_raw_alts(
+            terrain,
+            scenario.cell_size_m,
+            threat,
+            &region,
+            &mut masking,
+            r,
+        );
 
         // masking[x][y] = Min(masking[x][y], temp[x][y]), clamping the raw
         // recurrence value to the terrain floor as it is folded in.
@@ -84,24 +91,36 @@ mod tests {
     fn cells_outside_all_regions_stay_infinite() {
         let s = small_scenario(1);
         let masking = terrain_masking_host(&s);
-        let regions: Vec<Region> =
-            s.threats.iter().map(|t| Region::of(t, s.terrain.x_size(), s.terrain.y_size())).collect();
+        let regions: Vec<Region> = s
+            .threats
+            .iter()
+            .map(|t| Region::of(t, s.terrain.x_size(), s.terrain.y_size()))
+            .collect();
         let mut outside_seen = 0;
         for (x, y, &v) in masking.iter_cells() {
             if !regions.iter().any(|rg| rg.contains(x, y)) {
-                assert!(v.is_infinite(), "({x},{y}) outside all regions must be +inf");
+                assert!(
+                    v.is_infinite(),
+                    "({x},{y}) outside all regions must be +inf"
+                );
                 outside_seen += 1;
             }
         }
-        assert!(outside_seen > 0, "small scenario should leave some terrain uncovered");
+        assert!(
+            outside_seen > 0,
+            "small scenario should leave some terrain uncovered"
+        );
     }
 
     #[test]
     fn covered_cells_are_finite_and_at_least_terrain_level() {
         let s = small_scenario(2);
         let masking = terrain_masking_host(&s);
-        let regions: Vec<Region> =
-            s.threats.iter().map(|t| Region::of(t, s.terrain.x_size(), s.terrain.y_size())).collect();
+        let regions: Vec<Region> = s
+            .threats
+            .iter()
+            .map(|t| Region::of(t, s.terrain.x_size(), s.terrain.y_size()))
+            .collect();
         for (x, y, &v) in masking.iter_cells() {
             if regions.iter().any(|rg| rg.contains(x, y)) {
                 assert!(v.is_finite(), "covered cell ({x},{y}) must be finite");
@@ -122,7 +141,8 @@ mod tests {
         // and take the pointwise min.
         let mut expected = Grid::new(s.terrain.x_size(), s.terrain.y_size(), f64::INFINITY);
         for t in &s.threats {
-            let (region, field) = super::super::los::per_threat_masking(&s.terrain, s.cell_size_m, t);
+            let (region, field) =
+                super::super::los::per_threat_masking(&s.terrain, s.cell_size_m, t);
             for (x, y) in region.cells() {
                 let v = field.get(x, y);
                 if v < expected[(x, y)] {

@@ -70,10 +70,18 @@ impl std::fmt::Display for TerrainVerifyError {
             TerrainVerifyError::CoveredCellNotFinite { cell, value } => {
                 write!(f, "covered cell {cell:?} should be finite, got {value}")
             }
-            TerrainVerifyError::BelowTerrain { cell, value, terrain } => {
+            TerrainVerifyError::BelowTerrain {
+                cell,
+                value,
+                terrain,
+            } => {
                 write!(f, "cell {cell:?}: masking {value} below terrain {terrain}")
             }
-            TerrainVerifyError::Mismatch { cell, got, expected } => {
+            TerrainVerifyError::Mismatch {
+                cell,
+                got,
+                expected,
+            } => {
                 write!(f, "cell {cell:?}: got {got}, expected {expected}")
             }
         }
@@ -83,7 +91,10 @@ impl std::fmt::Display for TerrainVerifyError {
 impl std::error::Error for TerrainVerifyError {}
 
 /// Verify a masking grid against its scenario (checks 1–3 above).
-pub fn verify_masking(scenario: &TerrainScenario, masking: &Grid<f64>) -> Result<(), TerrainVerifyError> {
+pub fn verify_masking(
+    scenario: &TerrainScenario,
+    masking: &Grid<f64>,
+) -> Result<(), TerrainVerifyError> {
     let terrain = &scenario.terrain;
     if (masking.x_size(), masking.y_size()) != (terrain.x_size(), terrain.y_size()) {
         return Err(TerrainVerifyError::WrongShape {
@@ -109,16 +120,25 @@ pub fn verify_masking(scenario: &TerrainScenario, masking: &Grid<f64>) -> Result
 
     for (x, y, &v) in masking.iter_cells() {
         if v.is_nan() {
-            return Err(TerrainVerifyError::CoveredCellNotFinite { cell: (x, y), value: v });
+            return Err(TerrainVerifyError::CoveredCellNotFinite {
+                cell: (x, y),
+                value: v,
+            });
         }
         if !covered[(x, y)] {
             if !(v.is_infinite() && v > 0.0) {
-                return Err(TerrainVerifyError::UncoveredCellNotInfinite { cell: (x, y), value: v });
+                return Err(TerrainVerifyError::UncoveredCellNotInfinite {
+                    cell: (x, y),
+                    value: v,
+                });
             }
             continue;
         }
         if !v.is_finite() {
-            return Err(TerrainVerifyError::CoveredCellNotFinite { cell: (x, y), value: v });
+            return Err(TerrainVerifyError::CoveredCellNotFinite {
+                cell: (x, y),
+                value: v,
+            });
         }
         if v < terrain[(x, y)] - 1e-9 {
             return Err(TerrainVerifyError::BelowTerrain {
@@ -129,7 +149,11 @@ pub fn verify_masking(scenario: &TerrainScenario, masking: &Grid<f64>) -> Result
         }
         let e = expected[(x, y)];
         if v != e {
-            return Err(TerrainVerifyError::Mismatch { cell: (x, y), got: v, expected: e });
+            return Err(TerrainVerifyError::Mismatch {
+                cell: (x, y),
+                got: v,
+                expected: e,
+            });
         }
     }
     Ok(())
@@ -144,7 +168,11 @@ pub fn check_monotonicity(
     for (x, y, &b) in base.iter_cells() {
         let w = with_extra_threat[(x, y)];
         if w > b {
-            return Err(TerrainVerifyError::Mismatch { cell: (x, y), got: w, expected: b });
+            return Err(TerrainVerifyError::Mismatch {
+                cell: (x, y),
+                got: w,
+                expected: b,
+            });
         }
     }
     Ok(())
@@ -154,8 +182,8 @@ pub fn check_monotonicity(
 mod tests {
     use super::*;
     use crate::terrain::coarse::terrain_masking_coarse_host;
-    use crate::terrain::los::Region;
     use crate::terrain::fine::terrain_masking_fine_host;
+    use crate::terrain::los::Region;
     use crate::terrain::scenario::small_scenario;
     use crate::terrain::sequential::terrain_masking_host;
 

@@ -89,21 +89,30 @@ pub fn threat_analysis_chunked_host(
         reserved_words += chunk_range(c, n_threats, n_chunks).len() * cap_per_pair * 4;
     }
 
-    ParFor::new(0..n_threats).threads(n_threads).chunk_count(n_chunks).run_chunked(|cb| {
-        let capacity = (cb.end - cb.first) * cap_per_pair;
-        let section = run_chunk(scenario, cb.first, cb.end, capacity, &mut NoRec);
-        *slots[cb.chunk].lock() = section;
-    });
+    ParFor::new(0..n_threats)
+        .threads(n_threads)
+        .chunk_count(n_chunks)
+        .run_chunked(|cb| {
+            let capacity = (cb.end - cb.first) * cap_per_pair;
+            let section = run_chunk(scenario, cb.first, cb.end, capacity, &mut NoRec);
+            *slots[cb.chunk].lock() = section;
+        });
 
     let per_chunk = slots.into_iter().map(Mutex::into_inner).collect();
-    ChunkedResult { per_chunk, reserved_words }
+    ChunkedResult {
+        per_chunk,
+        reserved_words,
+    }
 }
 
 /// Program 2 under the counting backend: logical chunks execute
 /// sequentially, each recording its own operation counts. Returns the
 /// result and the [`Profile`] whose parallel region has `n_chunks` logical
 /// threads.
-pub fn threat_analysis_chunked(scenario: &ThreatScenario, n_chunks: usize) -> (ChunkedResult, Profile) {
+pub fn threat_analysis_chunked(
+    scenario: &ThreatScenario,
+    n_chunks: usize,
+) -> (ChunkedResult, Profile) {
     let n_threats = scenario.threats.len();
     let cap_per_pair = OVERSIZE_INTERVALS_PER_PAIR * scenario.weapons.len();
     let mut per_chunk = Vec::with_capacity(n_chunks);
@@ -117,13 +126,25 @@ pub fn threat_analysis_chunked(scenario: &ThreatScenario, n_chunks: usize) -> (C
     let thread_counts = ThreadCounts::record(n_chunks, |c, r| {
         let range = chunk_range(c, n_threats, n_chunks);
         reserved_words += range.len() * cap_per_pair * 4;
-        let section = run_chunk(scenario, range.start, range.end, range.len() * cap_per_pair, r);
+        let section = run_chunk(
+            scenario,
+            range.start,
+            range.end,
+            range.len() * cap_per_pair,
+            r,
+        );
         per_chunk.push(section);
     });
 
     (
-        ChunkedResult { per_chunk, reserved_words },
-        Profile { serial: serial.counts(), parallel: thread_counts },
+        ChunkedResult {
+            per_chunk,
+            reserved_words,
+        },
+        Profile {
+            serial: serial.counts(),
+            parallel: thread_counts,
+        },
     )
 }
 
@@ -162,7 +183,10 @@ mod tests {
         let r8 = threat_analysis_chunked_host(&s, 8, 4);
         let r32 = threat_analysis_chunked_host(&s, 32, 4);
         assert_eq!(r8.n_intervals(), r32.n_intervals());
-        assert!(r8.reserved_words >= r8.used_words(), "allocation must cover usage");
+        assert!(
+            r8.reserved_words >= r8.used_words(),
+            "allocation must cover usage"
+        );
         assert!(r32.reserved_words >= r32.used_words());
     }
 
@@ -186,8 +210,12 @@ mod tests {
         // within a small factor of each other for modest chunk counts.
         let s = small_scenario(5);
         let (_, profile) = threat_analysis_chunked(&s, 4);
-        let per: Vec<u64> =
-            profile.parallel.per_thread().iter().map(|c| c.instructions()).collect();
+        let per: Vec<u64> = profile
+            .parallel
+            .per_thread()
+            .iter()
+            .map(|c| c.instructions())
+            .collect();
         let max = *per.iter().max().unwrap() as f64;
         let min = *per.iter().min().unwrap() as f64;
         assert!(max / min < 2.0, "unexpectedly imbalanced: {per:?}");

@@ -58,14 +58,22 @@ impl Plan {
         let mut threats = BTreeSet::new();
         let mut per_weapon: BTreeMap<u32, Vec<(u32, u32)>> = BTreeMap::new();
         for e in &self.engagements {
-            let w = Interval { threat: e.threat, weapon: e.weapon, t_start: e.t_start, t_end: e.t_end };
+            let w = Interval {
+                threat: e.threat,
+                weapon: e.weapon,
+                t_start: e.t_start,
+                t_end: e.t_end,
+            };
             if !windows.contains(&w) {
                 return Err(format!("engagement {e:?} is not a reported window"));
             }
             if !threats.insert(e.threat) {
                 return Err(format!("threat {} engaged twice", e.threat));
             }
-            per_weapon.entry(e.weapon).or_default().push((e.t_start, e.t_end));
+            per_weapon
+                .entry(e.weapon)
+                .or_default()
+                .push((e.t_start, e.t_end));
         }
         for (w, mut spans) in per_weapon {
             spans.sort_unstable();
@@ -107,7 +115,8 @@ pub fn schedule_greedy(intervals: &[Interval]) -> Plan {
             });
         }
     }
-    plan.engagements.sort_unstable_by_key(|e| (e.t_start, e.threat));
+    plan.engagements
+        .sort_unstable_by_key(|e| (e.t_start, e.threat));
     plan
 }
 
@@ -150,7 +159,9 @@ pub fn schedule_exhaustive(intervals: &[Interval]) -> Plan {
         // Option 1: engage threat t with one of its windows.
         for iv in &threats[&t] {
             if weapon_free(busy, iv) {
-                busy.entry(iv.weapon).or_default().push((iv.t_start, iv.t_end));
+                busy.entry(iv.weapon)
+                    .or_default()
+                    .push((iv.t_start, iv.t_end));
                 current.push(Engagement {
                     threat: iv.threat,
                     weapon: iv.weapon,
@@ -192,7 +203,12 @@ mod tests {
     use crate::threat::{self, ThreatScenarioParams};
 
     fn iv(threat: u32, weapon: u32, t_start: u32, t_end: u32) -> Interval {
-        Interval { threat, weapon, t_start, t_end }
+        Interval {
+            threat,
+            weapon,
+            t_start,
+            t_end,
+        }
     }
 
     #[test]
@@ -232,8 +248,7 @@ mod tests {
 
     #[test]
     fn exhaustive_equals_greedy_when_everything_is_disjoint() {
-        let intervals: Vec<Interval> =
-            (0..6).map(|t| iv(t, t % 2, 10 * t, 10 * t + 5)).collect();
+        let intervals: Vec<Interval> = (0..6).map(|t| iv(t, t % 2, 10 * t, 10 * t + 5)).collect();
         assert_eq!(
             schedule_greedy(&intervals).threats_engaged(),
             schedule_exhaustive(&intervals).threats_engaged()
@@ -250,9 +265,13 @@ mod tests {
         });
         let intervals = threat::threat_analysis_host(&scenario);
         let plan = schedule_greedy(&intervals);
-        plan.validate(&intervals).expect("greedy plan must validate");
+        plan.validate(&intervals)
+            .expect("greedy plan must validate");
         let cov = coverage(&plan, &intervals);
-        assert!(cov > 0.5, "greedy should engage most interceptable threats: {cov}");
+        assert!(
+            cov > 0.5,
+            "greedy should engage most interceptable threats: {cov}"
+        );
     }
 
     #[test]
@@ -282,7 +301,12 @@ mod tests {
     fn validate_rejects_fabricated_engagements() {
         let intervals = vec![iv(0, 0, 0, 5)];
         let bad = Plan {
-            engagements: vec![Engagement { threat: 0, weapon: 0, t_start: 1, t_end: 4 }],
+            engagements: vec![Engagement {
+                threat: 0,
+                weapon: 0,
+                t_start: 1,
+                t_end: 4,
+            }],
         };
         assert!(bad.validate(&intervals).is_err());
     }
@@ -292,8 +316,18 @@ mod tests {
         let intervals = vec![iv(0, 0, 0, 5), iv(1, 0, 3, 8)];
         let bad = Plan {
             engagements: vec![
-                Engagement { threat: 0, weapon: 0, t_start: 0, t_end: 5 },
-                Engagement { threat: 1, weapon: 0, t_start: 3, t_end: 8 },
+                Engagement {
+                    threat: 0,
+                    weapon: 0,
+                    t_start: 0,
+                    t_end: 5,
+                },
+                Engagement {
+                    threat: 1,
+                    weapon: 0,
+                    t_start: 3,
+                    t_end: 8,
+                },
             ],
         };
         let err = bad.validate(&intervals).unwrap_err();

@@ -38,18 +38,23 @@ pub fn threat_analysis_fine_host(scenario: &ThreatScenario, n_threads: usize) ->
     let slots: Vec<OnceLock<Interval>> = (0..n_slots).map(|_| OnceLock::new()).collect();
     let num_intervals = SyncCounter::new(0);
 
-    multithreaded_for(0..scenario.threats.len(), n_threads, Schedule::Dynamic, |ti| {
-        let threat = &scenario.threats[ti];
-        for (wi, weapon) in scenario.weapons.iter().enumerate() {
-            intervals_for_pair(ti as u32, wi as u32, threat, weapon, &mut NoRec, |iv| {
-                let slot = num_intervals.fetch_add(1) as usize;
-                assert!(slot < n_slots, "fine-grained slot array overflow");
-                slots[slot]
-                    .set(iv)
-                    .expect("slot allocated twice — fetch_add must hand out unique slots");
-            });
-        }
-    });
+    multithreaded_for(
+        0..scenario.threats.len(),
+        n_threads,
+        Schedule::Dynamic,
+        |ti| {
+            let threat = &scenario.threats[ti];
+            for (wi, weapon) in scenario.weapons.iter().enumerate() {
+                intervals_for_pair(ti as u32, wi as u32, threat, weapon, &mut NoRec, |iv| {
+                    let slot = num_intervals.fetch_add(1) as usize;
+                    assert!(slot < n_slots, "fine-grained slot array overflow");
+                    slots[slot]
+                        .set(iv)
+                        .expect("slot allocated twice — fetch_add must hand out unique slots");
+                });
+            }
+        },
+    );
 
     let n = num_intervals.get() as usize;
     let intervals = slots[..n]
@@ -85,7 +90,10 @@ pub fn threat_analysis_fine(scenario: &ThreatScenario) -> (FineResult, Profile) 
 
     (
         FineResult { intervals },
-        Profile { serial: serial.counts(), parallel: thread_counts },
+        Profile {
+            serial: serial.counts(),
+            parallel: thread_counts,
+        },
     )
 }
 
@@ -119,7 +127,10 @@ mod tests {
     fn every_interval_costs_one_sync_op() {
         let s = small_scenario(3);
         let (fine, profile) = threat_analysis_fine(&s);
-        assert_eq!(profile.parallel.total().sync_ops, fine.intervals.len() as u64);
+        assert_eq!(
+            profile.parallel.total().sync_ops,
+            fine.intervals.len() as u64
+        );
     }
 
     #[test]

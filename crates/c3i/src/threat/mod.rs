@@ -46,6 +46,10 @@ pub use chunked::{threat_analysis_chunked, threat_analysis_chunked_host, Chunked
 pub use engagement::{coverage, schedule_exhaustive, schedule_greedy, Engagement, Plan};
 pub use fine::{threat_analysis_fine, threat_analysis_fine_host};
 pub use model::{can_intercept, Interval, Threat, Weapon, TIME_STEP};
-pub use scenario::{benchmark_suite, generate, small_scenario, ThreatScenario, ThreatScenarioParams};
-pub use sequential::{per_threat_counts, threat_analysis, threat_analysis_host, threat_analysis_profile};
+pub use scenario::{
+    benchmark_suite, generate, small_scenario, ThreatScenario, ThreatScenarioParams,
+};
+pub use sequential::{
+    per_threat_counts, threat_analysis, threat_analysis_host, threat_analysis_profile,
+};
 pub use verify::{canonical, verify_intervals, VerifyError};

@@ -97,7 +97,9 @@ pub struct Weapon {
 /// One maximal interception interval: `weapon` can intercept `threat` at
 /// every integer time step in `t_start..=t_end`, and at neither
 /// `t_start − 1` nor `t_end + 1`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Interval {
     /// Index of the threat in the scenario.
     pub threat: u32,
@@ -199,7 +201,12 @@ pub fn intervals_for_pair<R: Rec>(
             t2 += 1;
             r.int(2);
         }
-        emit(Interval { threat: threat_idx, weapon: weapon_idx, t_start: t1, t_end: t2 });
+        emit(Interval {
+            threat: threat_idx,
+            weapon: weapon_idx,
+            t_start: t1,
+            t_end: t2,
+        });
         r.sstore(4); // interval tuple written to the output array
         r.int(2); // counter increment + t0 update
         t0 = t2 + 1;
@@ -276,7 +283,7 @@ mod tests {
         let w = test_weapon();
         // Before detection + reaction no intercept regardless of geometry.
         assert!(!can_intercept(&w, &th, 15, &mut NoRec)); // t=15 < 10+5+3
-        // Impossible after impact.
+                                                          // Impossible after impact.
         assert!(!can_intercept(&w, &th, 211, &mut NoRec));
     }
 
@@ -293,8 +300,13 @@ mod tests {
         let th = test_threat();
         let w = test_weapon();
         // Late in the descent the threat is near (90 km, 0) and low.
-        let feasible = (15..=210).filter(|&s| can_intercept(&w, &th, s, &mut NoRec)).count();
-        assert!(feasible > 0, "the canonical test geometry must admit an intercept");
+        let feasible = (15..=210)
+            .filter(|&s| can_intercept(&w, &th, s, &mut NoRec))
+            .count();
+        assert!(
+            feasible > 0,
+            "the canonical test geometry must admit an intercept"
+        );
     }
 
     #[test]
@@ -310,7 +322,10 @@ mod tests {
             assert!(iv.t_start <= iv.t_end);
             // Every step inside is feasible.
             for s in iv.t_start..=iv.t_end {
-                assert!(can_intercept(&w, &th, s, &mut NoRec), "gap inside interval at {s}");
+                assert!(
+                    can_intercept(&w, &th, s, &mut NoRec),
+                    "gap inside interval at {s}"
+                );
             }
             // Maximality on both sides (within the scan window).
             if iv.t_start > th.first_step() {

@@ -69,7 +69,10 @@ pub fn generate(params: ThreatScenarioParams) -> ThreatScenario {
 
     let weapons = (0..params.n_weapons)
         .map(|_| Weapon {
-            pos: (rng.random_range(defended_x.clone()), rng.random_range(0.0..side)),
+            pos: (
+                rng.random_range(defended_x.clone()),
+                rng.random_range(0.0..side),
+            ),
             interceptor_speed: rng.random_range(2_000.0..5_000.0),
             max_range: rng.random_range(40_000.0..160_000.0),
             min_alt: rng.random_range(200.0..2_000.0),
@@ -82,8 +85,14 @@ pub fn generate(params: ThreatScenarioParams) -> ThreatScenario {
         .map(|_| {
             let flight_time = rng.random_range(150.0..500.0);
             Threat {
-                launch: (rng.random_range(0.0..0.2 * side), rng.random_range(0.0..side)),
-                impact: (rng.random_range(defended_x.clone()), rng.random_range(0.0..side)),
+                launch: (
+                    rng.random_range(0.0..0.2 * side),
+                    rng.random_range(0.0..side),
+                ),
+                impact: (
+                    rng.random_range(defended_x.clone()),
+                    rng.random_range(0.0..side),
+                ),
                 launch_time: rng.random_range(0.0..params.launch_window_s),
                 flight_time,
                 // Ballistic apex grows with range; jitter keeps pairs from
@@ -101,7 +110,12 @@ pub fn generate(params: ThreatScenarioParams) -> ThreatScenario {
 /// input scenarios"). Seeds 1–5; every other parameter at benchmark scale.
 pub fn benchmark_suite() -> Vec<ThreatScenario> {
     (1..=5)
-        .map(|seed| generate(ThreatScenarioParams { seed, ..ThreatScenarioParams::default() }))
+        .map(|seed| {
+            generate(ThreatScenarioParams {
+                seed,
+                ..ThreatScenarioParams::default()
+            })
+        })
         .collect()
 }
 
@@ -122,12 +136,21 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_in_the_seed() {
-        let a = generate(ThreatScenarioParams { seed: 7, ..Default::default() });
-        let b = generate(ThreatScenarioParams { seed: 7, ..Default::default() });
+        let a = generate(ThreatScenarioParams {
+            seed: 7,
+            ..Default::default()
+        });
+        let b = generate(ThreatScenarioParams {
+            seed: 7,
+            ..Default::default()
+        });
         assert_eq!(a.threats.len(), b.threats.len());
         assert_eq!(a.threats[0], b.threats[0]);
         assert_eq!(a.weapons[3], b.weapons[3]);
-        let c = generate(ThreatScenarioParams { seed: 8, ..Default::default() });
+        let c = generate(ThreatScenarioParams {
+            seed: 8,
+            ..Default::default()
+        });
         assert_ne!(a.threats[0], c.threats[0], "different seeds must differ");
     }
 

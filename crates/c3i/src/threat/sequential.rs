@@ -80,7 +80,10 @@ mod tests {
     fn produces_intervals_on_the_small_scenario() {
         let s = small_scenario(1);
         let out = threat_analysis_host(&s);
-        assert!(!out.is_empty(), "small scenario must yield some interceptions");
+        assert!(
+            !out.is_empty(),
+            "small scenario must yield some interceptions"
+        );
     }
 
     #[test]
@@ -129,7 +132,10 @@ mod tests {
 
     #[test]
     fn empty_scenario_yields_no_intervals() {
-        let s = ThreatScenario { threats: vec![], weapons: vec![] };
+        let s = ThreatScenario {
+            threats: vec![],
+            weapons: vec![],
+        };
         assert!(threat_analysis_host(&s).is_empty());
     }
 }

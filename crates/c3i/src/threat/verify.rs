@@ -33,15 +33,24 @@ pub enum VerifyError {
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            VerifyError::BadIndex(iv) => write!(f, "interval references out-of-range index: {iv:?}"),
+            VerifyError::BadIndex(iv) => {
+                write!(f, "interval references out-of-range index: {iv:?}")
+            }
             VerifyError::EmptyInterval(iv) => write!(f, "empty/reversed interval: {iv:?}"),
             VerifyError::InfeasibleStep { interval, step } => {
                 write!(f, "step {step} inside {interval:?} is not feasible")
             }
             VerifyError::NotMaximal(iv) => write!(f, "interval {iv:?} is not maximal"),
             VerifyError::Overlap(a, b) => write!(f, "intervals overlap: {a:?}, {b:?}"),
-            VerifyError::MissedStep { threat, weapon, step } => {
-                write!(f, "feasible step {step} for pair ({threat},{weapon}) not reported")
+            VerifyError::MissedStep {
+                threat,
+                weapon,
+                step,
+            } => {
+                write!(
+                    f,
+                    "feasible step {step} for pair ({threat},{weapon}) not reported"
+                )
             }
             VerifyError::Duplicate(iv) => write!(f, "duplicate interval: {iv:?}"),
         }
@@ -62,7 +71,10 @@ pub fn canonical(mut intervals: Vec<Interval>) -> Vec<Interval> {
 /// indices valid, intervals non-empty, feasible throughout, maximal,
 /// mutually disjoint per pair, no duplicates, and *complete* (every
 /// feasible step of every pair is covered).
-pub fn verify_intervals(scenario: &ThreatScenario, intervals: &[Interval]) -> Result<(), VerifyError> {
+pub fn verify_intervals(
+    scenario: &ThreatScenario,
+    intervals: &[Interval],
+) -> Result<(), VerifyError> {
     let n_threats = scenario.threats.len() as u32;
     let n_weapons = scenario.weapons.len() as u32;
 
@@ -89,7 +101,8 @@ pub fn verify_intervals(scenario: &ThreatScenario, intervals: &[Interval]) -> Re
         {
             return Err(VerifyError::NotMaximal(iv));
         }
-        if iv.t_end < threat.last_step() && can_intercept(weapon, threat, iv.t_end + 1, &mut NoRec) {
+        if iv.t_end < threat.last_step() && can_intercept(weapon, threat, iv.t_end + 1, &mut NoRec)
+        {
             return Err(VerifyError::NotMaximal(iv));
         }
     }
@@ -119,7 +132,11 @@ pub fn verify_intervals(scenario: &ThreatScenario, intervals: &[Interval]) -> Re
                 let feasible = can_intercept(weapon, threat, step, &mut NoRec);
                 let reported = covered.iter().any(|&(a, b)| a <= step && step <= b);
                 if feasible && !reported {
-                    return Err(VerifyError::MissedStep { threat: ti as u32, weapon: wi as u32, step });
+                    return Err(VerifyError::MissedStep {
+                        threat: ti as u32,
+                        weapon: wi as u32,
+                        step,
+                    });
                 }
             }
         }
@@ -142,9 +159,24 @@ mod tests {
 
     #[test]
     fn canonical_sorts_by_pair_then_time() {
-        let a = Interval { threat: 1, weapon: 0, t_start: 5, t_end: 6 };
-        let b = Interval { threat: 0, weapon: 1, t_start: 9, t_end: 9 };
-        let c = Interval { threat: 0, weapon: 1, t_start: 2, t_end: 3 };
+        let a = Interval {
+            threat: 1,
+            weapon: 0,
+            t_start: 5,
+            t_end: 6,
+        };
+        let b = Interval {
+            threat: 0,
+            weapon: 1,
+            t_start: 9,
+            t_end: 9,
+        };
+        let c = Interval {
+            threat: 0,
+            weapon: 1,
+            t_start: 2,
+            t_end: 3,
+        };
         assert_eq!(canonical(vec![a, b, c]), vec![c, b, a]);
     }
 
@@ -166,30 +198,55 @@ mod tests {
         let mut out = threat_analysis_host(&s);
         assert!(!out.is_empty());
         out.push(out[0]);
-        assert!(matches!(verify_intervals(&s, &out), Err(VerifyError::Duplicate(_))));
+        assert!(matches!(
+            verify_intervals(&s, &out),
+            Err(VerifyError::Duplicate(_))
+        ));
     }
 
     #[test]
     fn detects_truncated_interval_as_not_maximal() {
         let s = small_scenario(4);
         let mut out = threat_analysis_host(&s);
-        let i = out.iter().position(|iv| iv.t_end > iv.t_start).expect("need a multi-step interval");
+        let i = out
+            .iter()
+            .position(|iv| iv.t_end > iv.t_start)
+            .expect("need a multi-step interval");
         out[i].t_end -= 1;
-        assert!(matches!(verify_intervals(&s, &out), Err(VerifyError::NotMaximal(_))));
+        assert!(matches!(
+            verify_intervals(&s, &out),
+            Err(VerifyError::NotMaximal(_))
+        ));
     }
 
     #[test]
     fn detects_bad_index() {
         let s = small_scenario(5);
-        let out = vec![Interval { threat: 10_000, weapon: 0, t_start: 0, t_end: 0 }];
-        assert!(matches!(verify_intervals(&s, &out), Err(VerifyError::BadIndex(_))));
+        let out = vec![Interval {
+            threat: 10_000,
+            weapon: 0,
+            t_start: 0,
+            t_end: 0,
+        }];
+        assert!(matches!(
+            verify_intervals(&s, &out),
+            Err(VerifyError::BadIndex(_))
+        ));
     }
 
     #[test]
     fn detects_reversed_interval() {
         let s = small_scenario(5);
-        let out = vec![Interval { threat: 0, weapon: 0, t_start: 5, t_end: 4 }];
-        assert!(matches!(verify_intervals(&s, &out), Err(VerifyError::EmptyInterval(_))));
+        let out = vec![Interval {
+            threat: 0,
+            weapon: 0,
+            t_start: 5,
+            t_end: 4,
+        }];
+        assert!(matches!(
+            verify_intervals(&s, &out),
+            Err(VerifyError::EmptyInterval(_))
+        ));
     }
 
     #[test]
@@ -199,17 +256,29 @@ mod tests {
         // Fabricate an interval at a step outside any feasible window for
         // a pair that has none at step 0 (launches are staggered, so step 0
         // precedes every detection).
-        out.push(Interval { threat: 0, weapon: 0, t_start: 0, t_end: 0 });
+        out.push(Interval {
+            threat: 0,
+            weapon: 0,
+            t_start: 0,
+            t_end: 0,
+        });
         let err = verify_intervals(&s, &out).unwrap_err();
         assert!(
-            matches!(err, VerifyError::InfeasibleStep { .. } | VerifyError::Overlap(..)),
+            matches!(
+                err,
+                VerifyError::InfeasibleStep { .. } | VerifyError::Overlap(..)
+            ),
             "unexpected error: {err:?}"
         );
     }
 
     #[test]
     fn error_messages_render() {
-        let e = VerifyError::MissedStep { threat: 1, weapon: 2, step: 3 };
+        let e = VerifyError::MissedStep {
+            threat: 1,
+            weapon: 2,
+            step: 3,
+        };
         assert!(e.to_string().contains("feasible step 3"));
     }
 }

@@ -1,0 +1,247 @@
+//! Serde-backed snapshot cache for the measured workload + calibration.
+//!
+//! Measuring the workload (running every benchmark variant under the
+//! op-counting backend) dominates harness start-up — seconds at Paper
+//! scale — and its result is a pure function of the measurement code and
+//! the [`WorkloadScale`]. This module memoizes that function on disk:
+//! `repro`, the integration tests, and the criterion benches all call
+//! [`load_or_measure`] and only the first of them pays for measurement.
+//!
+//! Correctness comes from the *code fingerprint*: a snapshot stores a hash
+//! of every source file the measured numbers depend on (benchmark
+//! algorithms, counting backend, workload/calibration definitions,
+//! embedded via `include_str!` at compile time). Any edit to those files
+//! changes the fingerprint of the running binary, so stale snapshots are
+//! silently re-measured, never trusted. Unreadable or corrupt snapshots
+//! are likewise treated as misses.
+//!
+//! Knobs (environment variables):
+//! * `C3I_CACHE_DIR` — override the snapshot directory (default:
+//!   `target/c3i-cache` in the workspace).
+//! * `C3I_NO_CACHE` — when set (to anything non-empty), neither read nor
+//!   write snapshots.
+
+use crate::calibrate::{calibrate, Calibration};
+use crate::workload::{Workload, WorkloadScale};
+use std::path::{Path, PathBuf};
+
+/// Everything [`load_or_measure`] persists: the fingerprint that guards
+/// staleness plus the two expensive-to-recompute values.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Snapshot {
+    /// [`code_fingerprint`] of the binary that wrote the snapshot.
+    pub fingerprint: String,
+    /// The measured workload profiles.
+    pub workload: Workload,
+    /// Models calibrated against `workload`.
+    pub cal: Calibration,
+}
+
+/// How [`load_or_measure`] obtained its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// A valid snapshot with a matching fingerprint was loaded.
+    Hit,
+    /// No usable snapshot; measured and wrote a fresh one.
+    Miss,
+    /// `C3I_NO_CACHE` was set; measured without touching the disk.
+    Disabled,
+}
+
+/// Sources the measured numbers depend on, embedded at compile time.
+/// Order matters only for fingerprint stability within one build.
+const MEASUREMENT_SOURCES: &[&str] = &[
+    include_str!("workload.rs"),
+    include_str!("calibrate.rs"),
+    include_str!("models.rs"),
+    include_str!("../../c3i/src/threat/mod.rs"),
+    include_str!("../../c3i/src/threat/model.rs"),
+    include_str!("../../c3i/src/threat/scenario.rs"),
+    include_str!("../../c3i/src/threat/engagement.rs"),
+    include_str!("../../c3i/src/threat/sequential.rs"),
+    include_str!("../../c3i/src/threat/chunked.rs"),
+    include_str!("../../c3i/src/threat/fine.rs"),
+    include_str!("../../c3i/src/terrain/mod.rs"),
+    include_str!("../../c3i/src/terrain/scenario.rs"),
+    include_str!("../../c3i/src/terrain/los.rs"),
+    include_str!("../../c3i/src/terrain/exact.rs"),
+    include_str!("../../c3i/src/terrain/sequential.rs"),
+    include_str!("../../c3i/src/terrain/coarse.rs"),
+    include_str!("../../c3i/src/terrain/fine.rs"),
+    include_str!("../../c3i/src/grid.rs"),
+    include_str!("../../c3i/src/counts.rs"),
+    include_str!("../../sthreads/src/counting.rs"),
+];
+
+/// FNV-1a hash (64-bit, hex) over every measurement-defining source file.
+/// Two binaries agree on this string iff they agree on the measurement
+/// code, which is exactly the condition for sharing snapshots.
+pub fn code_fingerprint() -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for src in MEASUREMENT_SOURCES {
+        for b in src.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separate files so content cannot shift between them unnoticed.
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// The snapshot directory: `C3I_CACHE_DIR` if set, else `target/c3i-cache`
+/// next to the workspace's build artifacts.
+pub fn cache_dir() -> PathBuf {
+    match std::env::var_os("C3I_CACHE_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/c3i-cache"),
+    }
+}
+
+fn snapshot_path(dir: &Path, scale: WorkloadScale) -> PathBuf {
+    let slug = match scale {
+        WorkloadScale::Paper => "paper",
+        WorkloadScale::Reduced => "reduced",
+    };
+    dir.join(format!("workload_{slug}.json"))
+}
+
+fn cache_disabled() -> bool {
+    std::env::var_os("C3I_NO_CACHE").is_some_and(|v| !v.is_empty())
+}
+
+/// Load a usable snapshot from `dir`, or `None` on any problem (missing
+/// file, parse error, fingerprint or scale mismatch).
+fn try_load(dir: &Path, scale: WorkloadScale, fingerprint: &str) -> Option<Snapshot> {
+    let text = std::fs::read_to_string(snapshot_path(dir, scale)).ok()?;
+    let snap: Snapshot = serde_json::from_str(&text).ok()?;
+    (snap.fingerprint == fingerprint && snap.workload.scale == scale).then_some(snap)
+}
+
+/// Write `snap` to `dir` atomically (temp file + rename), so a concurrent
+/// reader never sees a torn snapshot. Errors are swallowed: the cache is
+/// an optimization and must never fail the harness.
+fn try_store(dir: &Path, snap: &Snapshot) {
+    let Ok(text) = serde_json::to_string(snap) else {
+        return;
+    };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let final_path = snapshot_path(dir, snap.workload.scale);
+    let tmp_path = final_path.with_extension(format!("tmp.{}", std::process::id()));
+    if std::fs::write(&tmp_path, text).is_ok() && std::fs::rename(&tmp_path, &final_path).is_err() {
+        let _ = std::fs::remove_file(&tmp_path);
+    }
+}
+
+/// [`load_or_measure`] against an explicit directory (the testable core;
+/// the public entry point resolves the directory from the environment).
+pub fn load_or_measure_in(
+    dir: &Path,
+    scale: WorkloadScale,
+    use_cache: bool,
+) -> (Workload, Calibration, CacheStatus) {
+    let fingerprint = code_fingerprint();
+    if use_cache {
+        if let Some(snap) = try_load(dir, scale, &fingerprint) {
+            return (snap.workload, snap.cal, CacheStatus::Hit);
+        }
+    }
+    let workload = Workload::build(scale);
+    let cal = calibrate(&workload);
+    if !use_cache {
+        return (workload, cal, CacheStatus::Disabled);
+    }
+    try_store(
+        dir,
+        &Snapshot {
+            fingerprint,
+            workload: workload.clone(),
+            cal: cal.clone(),
+        },
+    );
+    (workload, cal, CacheStatus::Miss)
+}
+
+/// Return the measured workload and calibration for `scale`, from the
+/// snapshot cache when possible (see the module docs for the staleness
+/// guarantee and the `C3I_CACHE_DIR` / `C3I_NO_CACHE` knobs).
+pub fn load_or_measure(scale: WorkloadScale) -> (Workload, Calibration, CacheStatus) {
+    load_or_measure_in(&cache_dir(), scale, !cache_disabled())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// A unique throwaway directory per test (no temp-dir crate; pid +
+    /// counter keeps concurrent test binaries apart).
+    fn scratch_dir() -> PathBuf {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("c3i-cache-test-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fingerprint_is_stable_within_a_build() {
+        assert_eq!(code_fingerprint(), code_fingerprint());
+        assert_eq!(code_fingerprint().len(), 16);
+    }
+
+    #[test]
+    fn miss_then_hit_round_trips_identical_values() {
+        let dir = scratch_dir();
+        let (w1, c1, s1) = load_or_measure_in(&dir, WorkloadScale::Reduced, true);
+        assert_eq!(s1, CacheStatus::Miss);
+        let (w2, c2, s2) = load_or_measure_in(&dir, WorkloadScale::Reduced, true);
+        assert_eq!(s2, CacheStatus::Hit);
+        assert_eq!(w1, w2, "cached workload must round-trip exactly");
+        assert_eq!(c1, c2, "cached calibration must round-trip exactly");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_remeasured() {
+        let dir = scratch_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(snapshot_path(&dir, WorkloadScale::Reduced), "{ not json").unwrap();
+        let (_, _, status) = load_or_measure_in(&dir, WorkloadScale::Reduced, true);
+        assert_eq!(status, CacheStatus::Miss);
+        // And the bad file was replaced by a loadable one.
+        let (_, _, status) = load_or_measure_in(&dir, WorkloadScale::Reduced, true);
+        assert_eq!(status, CacheStatus::Hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_fingerprint_is_remeasured() {
+        let dir = scratch_dir();
+        let (_, _, status) = load_or_measure_in(&dir, WorkloadScale::Reduced, true);
+        assert_eq!(status, CacheStatus::Miss);
+        // Forge a snapshot from a "different build".
+        let path = snapshot_path(&dir, WorkloadScale::Reduced);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let forged = text.replacen(&code_fingerprint(), "deadbeefdeadbeef", 1);
+        std::fs::write(&path, forged).unwrap();
+        let (_, _, status) = load_or_measure_in(&dir, WorkloadScale::Reduced, true);
+        assert_eq!(
+            status,
+            CacheStatus::Miss,
+            "foreign fingerprints must not be trusted"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_cache_neither_reads_nor_writes() {
+        let dir = scratch_dir();
+        let (_, _, status) = load_or_measure_in(&dir, WorkloadScale::Reduced, false);
+        assert_eq!(status, CacheStatus::Disabled);
+        assert!(!dir.exists(), "disabled cache must not create {dir:?}");
+    }
+}

@@ -84,7 +84,7 @@ mod constants {
 }
 
 /// The calibrated model set.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Calibration {
     /// DEC AlphaStation 500 MHz (1 processor).
     pub alpha: ConventionalModel,
@@ -159,40 +159,88 @@ pub fn calibrate(workload: &Workload) -> Calibration {
     let clock = tera.clock_mhz * 1e6;
 
     // ── workload-size factors from the Tera sequential rows ────────────
-    let t0_ta: f64 = workload.ta_seq.iter().map(|p| tera.seq_seconds(p, 1.0)).sum();
+    let t0_ta: f64 = workload
+        .ta_seq
+        .iter()
+        .map(|p| tera.seq_seconds(p, 1.0))
+        .sum();
     let s_ta = anchors.ta_seq[3] / t0_ta;
-    let t0_tm: f64 = workload.tm_seq.iter().map(|p| tera.seq_seconds(p, 1.0)).sum();
+    let t0_tm: f64 = workload
+        .tm_seq
+        .iter()
+        .map(|p| tera.seq_seconds(p, 1.0))
+        .sum();
     let s_tm = anchors.tm_seq[3] / t0_tm;
 
     // ── conventional per-op costs from Tables 2 and 8 ───────────────────
     let ta_ops = workload.ta_total();
     let tm_ops = workload.tm_total();
     let alpha = fit_conventional(
-        "Alpha", 500.0, 1, &ta_ops, &tm_ops, anchors.ta_seq[0], anchors.tm_seq[0], s_ta, s_tm,
+        "Alpha",
+        500.0,
+        1,
+        &ta_ops,
+        &tm_ops,
+        anchors.ta_seq[0],
+        anchors.tm_seq[0],
+        s_ta,
+        s_tm,
     );
     let mut ppro = fit_conventional(
-        "Pentium Pro", 200.0, 4, &ta_ops, &tm_ops, anchors.ta_seq[1], anchors.tm_seq[1], s_ta, s_tm,
+        "Pentium Pro",
+        200.0,
+        4,
+        &ta_ops,
+        &tm_ops,
+        anchors.ta_seq[1],
+        anchors.tm_seq[1],
+        s_ta,
+        s_tm,
     );
     let mut exemplar = fit_conventional(
-        "Exemplar", 180.0, 16, &ta_ops, &tm_ops, anchors.ta_seq[2], anchors.tm_seq[2], s_ta, s_tm,
+        "Exemplar",
+        180.0,
+        16,
+        &ta_ops,
+        &tm_ops,
+        anchors.ta_seq[2],
+        anchors.tm_seq[2],
+        s_ta,
+        s_tm,
     );
 
     // ── MTA network efficiency η₂ from Table 5's 2-processor row ───────
     // T = s_ta * (serial + issue₂/η) / clock  (memory term non-binding for
     // the compute-bound Threat Analysis; asserted in tests).
     let chunked = workload.ta_chunked(256);
-    let serial2: f64 = chunked.iter().map(|p| tera.serial_cycles_of(&p.serial)).sum();
-    let issue2: f64 = chunked.iter().map(|p| tera.chunked_issue_cycles(p, 2)).sum();
+    let serial2: f64 = chunked
+        .iter()
+        .map(|p| tera.serial_cycles_of(&p.serial))
+        .sum();
+    let issue2: f64 = chunked
+        .iter()
+        .map(|p| tera.chunked_issue_cycles(p, 2))
+        .sum();
     let target_cycles = anchors.ta_tera_p2 * clock / s_ta - serial2;
     assert!(target_cycles > 0.0, "eta2 calibration target underflow");
     tera.eta2 = (issue2 / target_cycles).min(1.0);
 
     // ── MTA fine-grained spawn cost κ from Table 11's 1-processor row ───
-    let serial_fine: f64 =
-        workload.tm_fine.iter().map(|p| tera.serial_cycles_of(&p.serial)).sum();
-    let issue_fine1: f64 =
-        workload.tm_fine.iter().map(|p| tera.phased_issue_cycles(p, 1)).sum();
-    let tasks: f64 = workload.tm_fine.iter().map(TeraModel::phased_task_count).sum();
+    let serial_fine: f64 = workload
+        .tm_fine
+        .iter()
+        .map(|p| tera.serial_cycles_of(&p.serial))
+        .sum();
+    let issue_fine1: f64 = workload
+        .tm_fine
+        .iter()
+        .map(|p| tera.phased_issue_cycles(p, 1))
+        .sum();
+    let tasks: f64 = workload
+        .tm_fine
+        .iter()
+        .map(TeraModel::phased_task_count)
+        .sum();
     let spawn_budget = anchors.tm_tera_p1 * clock / s_tm - serial_fine - issue_fine1;
     assert!(
         spawn_budget > 0.0,
@@ -206,8 +254,10 @@ pub fn calibrate(workload: &Workload) -> Calibration {
     let fit_bus = |model: &ConventionalModel, n_procs: usize, t_secs: f64, w: &Workload| -> f64 {
         let coarse = w.tm_coarse(n_procs);
         let serial_cycles: f64 = coarse.iter().map(|p| model.cpu_cycles(&p.serial)).sum();
-        let stream_total: f64 =
-            coarse.iter().map(|p| p.parallel.total().stream_ops() as f64).sum();
+        let stream_total: f64 = coarse
+            .iter()
+            .map(|p| p.parallel.total().stream_ops() as f64)
+            .sum();
         let budget = t_secs * model.clock_mhz * 1e6 / s_tm - serial_cycles;
         assert!(budget > 0.0, "{}: bus calibration underflow", model.name);
         budget / stream_total
@@ -215,7 +265,14 @@ pub fn calibrate(workload: &Workload) -> Calibration {
     ppro.bus_cost_per_stream_op = fit_bus(&ppro, 4, anchors.tm_ppro_p4, workload);
     exemplar.bus_cost_per_stream_op = fit_bus(&exemplar, 16, anchors.tm_exemplar_p16, workload);
 
-    Calibration { alpha, ppro, exemplar, tera, s_ta, s_tm }
+    Calibration {
+        alpha,
+        ppro,
+        exemplar,
+        tera,
+        s_ta,
+        s_tm,
+    }
 }
 
 #[cfg(test)]
@@ -257,11 +314,24 @@ mod tests {
     fn calibrated_constants_are_physical() {
         let (_, c) = cal();
         for m in [&c.alpha, &c.ppro, &c.exemplar] {
-            assert!(m.resident_cost > 0.1 && m.resident_cost < 50.0, "{}: c={}", m.name, m.resident_cost);
-            assert!(m.stream_cost > m.resident_cost, "{}: streaming must cost more than resident", m.name);
+            assert!(
+                m.resident_cost > 0.1 && m.resident_cost < 50.0,
+                "{}: c={}",
+                m.name,
+                m.resident_cost
+            );
+            assert!(
+                m.stream_cost > m.resident_cost,
+                "{}: streaming must cost more than resident",
+                m.name
+            );
             assert!(m.stream_cost < 500.0, "{}: m={}", m.name, m.stream_cost);
         }
-        assert!(c.tera.eta2 > 0.5 && c.tera.eta2 <= 1.0, "eta2={}", c.tera.eta2);
+        assert!(
+            c.tera.eta2 > 0.5 && c.tera.eta2 <= 1.0,
+            "eta2={}",
+            c.tera.eta2
+        );
         assert!(
             c.tera.spawn_cycles_per_task > 0.0 && c.tera.spawn_cycles_per_task < 500.0,
             "kappa={}",
@@ -278,22 +348,34 @@ mod tests {
     fn anchor_rows_for_parallel_fits_are_met() {
         let (w, c) = cal();
         // Table 5 P=2 (η₂ fit).
-        let t5: f64 =
-            w.ta_chunked(256).iter().map(|p| c.tera.chunked_seconds(p, 2, c.s_ta)).sum();
+        let t5: f64 = w
+            .ta_chunked(256)
+            .iter()
+            .map(|p| c.tera.chunked_seconds(p, 2, c.s_ta))
+            .sum();
         assert!((t5 - 46.0).abs() < 1.0, "Table5 P2: {t5}");
         // Table 11 P=1 (κ fit).
-        let t11: f64 =
-            w.tm_fine.iter().map(|p| c.tera.phased_seconds(p, 1, c.s_tm)).sum();
+        let t11: f64 = w
+            .tm_fine
+            .iter()
+            .map(|p| c.tera.phased_seconds(p, 1, c.s_tm))
+            .sum();
         assert!((t11 - 48.0).abs() < 1.0, "Table11 P1: {t11}");
         // Table 9 P=4 (PPro bus fit) — bus-bound by assumption; allow the
         // makespan to have been the binding term instead (then the fit is
         // an upper bound).
-        let t9: f64 =
-            w.tm_coarse(4).iter().map(|p| c.ppro.parallel_seconds(p, 4, c.s_tm)).sum();
+        let t9: f64 = w
+            .tm_coarse(4)
+            .iter()
+            .map(|p| c.ppro.parallel_seconds(p, 4, c.s_tm))
+            .sum();
         assert!((t9 - 65.0).abs() < 5.0, "Table9 P4: {t9}");
         // Table 10 P=16 (Exemplar bus fit).
-        let t10: f64 =
-            w.tm_coarse(16).iter().map(|p| c.exemplar.parallel_seconds(p, 16, c.s_tm)).sum();
+        let t10: f64 = w
+            .tm_coarse(16)
+            .iter()
+            .map(|p| c.exemplar.parallel_seconds(p, 16, c.s_tm))
+            .sum();
         assert!((t10 - 37.0).abs() < 5.0, "Table10 P16: {t10}");
     }
 

@@ -11,13 +11,18 @@ use crate::models::ConventionalModel;
 use crate::tables::{ascii_speedup_figure, Cell, Table};
 use crate::workload::Workload;
 use c3i::Profile;
+use sthreads::{par_map, Schedule, ThreadPool};
 
 /// The paper's published numbers, verbatim from the tables.
 pub mod paper {
     /// Table 2: sequential Threat Analysis seconds
     /// (Alpha, Pentium Pro, Exemplar, Tera).
-    pub const TABLE2: [(&str, f64); 4] =
-        [("Alpha", 187.0), ("Pentium Pro", 458.0), ("Exemplar", 343.0), ("Tera", 2584.0)];
+    pub const TABLE2: [(&str, f64); 4] = [
+        ("Alpha", 187.0),
+        ("Pentium Pro", 458.0),
+        ("Exemplar", 343.0),
+        ("Tera", 2584.0),
+    ];
 
     /// Table 3: chunked Threat Analysis on the quad Pentium Pro.
     /// `(processors, seconds)`; the sequential program took 458 s.
@@ -51,12 +56,22 @@ pub mod paper {
     pub const TABLE5: [(usize, f64); 2] = [(1, 82.0), (2, 46.0)];
 
     /// Table 6: Threat Analysis chunk sweep on the 2-processor Tera.
-    pub const TABLE6: [(usize, f64); 6] =
-        [(8, 386.0), (16, 197.0), (32, 104.0), (64, 61.0), (128, 46.0), (256, 46.0)];
+    pub const TABLE6: [(usize, f64); 6] = [
+        (8, 386.0),
+        (16, 197.0),
+        (32, 104.0),
+        (64, 61.0),
+        (128, 46.0),
+        (256, 46.0),
+    ];
 
     /// Table 8: sequential Terrain Masking seconds.
-    pub const TABLE8: [(&str, f64); 4] =
-        [("Alpha", 158.0), ("Pentium Pro", 197.0), ("Exemplar", 228.0), ("Tera", 978.0)];
+    pub const TABLE8: [(&str, f64); 4] = [
+        ("Alpha", 158.0),
+        ("Pentium Pro", 197.0),
+        ("Exemplar", 228.0),
+        ("Tera", 978.0),
+    ];
 
     /// Table 9: coarse Terrain Masking on the quad Pentium Pro.
     pub const TABLE9: [(usize, f64); 4] = [(1, 172.0), (2, 97.0), (3, 74.0), (4, 65.0)];
@@ -118,14 +133,31 @@ impl Experiments {
         Self { workload, cal }
     }
 
+    /// Build the harness for `scale` via the snapshot cache
+    /// ([`crate::cache::load_or_measure`]): measurement and calibration
+    /// run only when no fresh snapshot exists.
+    pub fn load_or_measure(scale: crate::workload::WorkloadScale) -> (Self, crate::CacheStatus) {
+        let (workload, cal, status) = crate::cache::load_or_measure(scale);
+        (Self { workload, cal }, status)
+    }
+
     // ── shared helpers ───────────────────────────────────────────────────
 
     fn sum_seq(&self, model: &ConventionalModel, profiles: &[Profile], scale: f64) -> f64 {
         profiles.iter().map(|p| model.seq_seconds(p, scale)).sum()
     }
 
-    fn sum_par(&self, model: &ConventionalModel, profiles: &[Profile], n: usize, scale: f64) -> f64 {
-        profiles.iter().map(|p| model.parallel_seconds(p, n, scale)).sum()
+    fn sum_par(
+        &self,
+        model: &ConventionalModel,
+        profiles: &[Profile],
+        n: usize,
+        scale: f64,
+    ) -> f64 {
+        profiles
+            .iter()
+            .map(|p| model.parallel_seconds(p, n, scale))
+            .sum()
     }
 
     /// Modeled sequential Threat Analysis seconds on each platform.
@@ -155,7 +187,12 @@ impl Experiments {
     /// Modeled chunked Threat Analysis seconds on a conventional SMP with
     /// one chunk/thread per processor (the paper's configuration).
     pub fn ta_conv_parallel(&self, model: &ConventionalModel, n_procs: usize) -> f64 {
-        self.sum_par(model, &self.workload.ta_chunked(n_procs), n_procs, self.cal.s_ta)
+        self.sum_par(
+            model,
+            &self.workload.ta_chunked(n_procs),
+            n_procs,
+            self.cal.s_ta,
+        )
     }
 
     /// Modeled chunked Threat Analysis seconds on the Tera.
@@ -169,7 +206,12 @@ impl Experiments {
 
     /// Modeled coarse Terrain Masking seconds on a conventional SMP.
     pub fn tm_conv_parallel(&self, model: &ConventionalModel, n_procs: usize) -> f64 {
-        self.sum_par(model, &self.workload.tm_coarse(n_procs), n_procs, self.cal.s_tm)
+        self.sum_par(
+            model,
+            &self.workload.tm_coarse(n_procs),
+            n_procs,
+            self.cal.s_tm,
+        )
     }
 
     /// Modeled fine-grained Terrain Masking seconds on the Tera.
@@ -187,7 +229,12 @@ impl Experiments {
     /// what stands in for each here).
     pub fn table1(&self) -> Table {
         let row = |machine: &str, procs: &str, os: &str, sub: &str| {
-            vec![Cell::text(machine), Cell::text(procs), Cell::text(os), Cell::text(sub)]
+            vec![
+                Cell::text(machine),
+                Cell::text(procs),
+                Cell::text(os),
+                Cell::text(sub),
+            ]
         };
         Table {
             id: "Table 1".into(),
@@ -267,7 +314,11 @@ impl Experiments {
         Table {
             id: id.into(),
             title: title.into(),
-            headers: vec!["Number of processors".into(), "Time (seconds)".into(), "Speedup".into()],
+            headers: vec![
+                "Number of processors".into(),
+                "Time (seconds)".into(),
+                "Speedup".into(),
+            ],
             rows: out_rows,
         }
     }
@@ -308,13 +359,21 @@ impl Experiments {
             .map(|&(n, p)| {
                 let m = self.ta_tera(256, n);
                 let p1 = paper::TABLE5[0].1;
-                vec![Cell::text(n.to_string()), Cell::val(m, p), Cell::val(t1 / m, p1 / p)]
+                vec![
+                    Cell::text(n.to_string()),
+                    Cell::val(m, p),
+                    Cell::val(t1 / m, p1 / p),
+                ]
             })
             .collect();
         Table {
             id: "Table 5".into(),
             title: "Multithreaded Threat Analysis on dual-processor Tera MTA (256 chunks)".into(),
-            headers: vec!["Number of Processors".into(), "Time (seconds)".into(), "Speedup".into()],
+            headers: vec![
+                "Number of Processors".into(),
+                "Time (seconds)".into(),
+                "Speedup".into(),
+            ],
             rows,
         }
     }
@@ -342,14 +401,41 @@ impl Experiments {
     pub fn table7(&self) -> Table {
         let seq = self.ta_seq_secs();
         let auto_failed = self.autopar_report().all_rejected_for_benchmarks();
-        assert!(auto_failed, "the autopar model must reject the benchmark loops");
+        assert!(
+            auto_failed,
+            "the autopar model must reject the benchmark loops"
+        );
         let rows = vec![
-            vec![Cell::text("None"), Cell::text("Alpha"), Cell::val(seq[0], 187.0)],
-            vec![Cell::text(""), Cell::text("Pentium Pro"), Cell::val(seq[1], 458.0)],
-            vec![Cell::text(""), Cell::text("Exemplar"), Cell::val(seq[2], 343.0)],
-            vec![Cell::text(""), Cell::text("Tera"), Cell::val(seq[3], 2584.0)],
-            vec![Cell::text("Automatic"), Cell::text("Exemplar"), Cell::val(seq[2], 343.0)],
-            vec![Cell::text(""), Cell::text("Tera"), Cell::val(seq[3], 2584.0)],
+            vec![
+                Cell::text("None"),
+                Cell::text("Alpha"),
+                Cell::val(seq[0], 187.0),
+            ],
+            vec![
+                Cell::text(""),
+                Cell::text("Pentium Pro"),
+                Cell::val(seq[1], 458.0),
+            ],
+            vec![
+                Cell::text(""),
+                Cell::text("Exemplar"),
+                Cell::val(seq[2], 343.0),
+            ],
+            vec![
+                Cell::text(""),
+                Cell::text("Tera"),
+                Cell::val(seq[3], 2584.0),
+            ],
+            vec![
+                Cell::text("Automatic"),
+                Cell::text("Exemplar"),
+                Cell::val(seq[2], 343.0),
+            ],
+            vec![
+                Cell::text(""),
+                Cell::text("Tera"),
+                Cell::val(seq[3], 2584.0),
+            ],
             vec![
                 Cell::text("Manual"),
                 Cell::text("Pentium Pro (4 processors)"),
@@ -384,7 +470,11 @@ impl Experiments {
         Table {
             id: "Table 7".into(),
             title: "Performance comparison for execution times of Threat Analysis".into(),
-            headers: vec!["Parallelization".into(), "Platform".into(), "Time (seconds)".into()],
+            headers: vec![
+                "Parallelization".into(),
+                "Platform".into(),
+                "Time (seconds)".into(),
+            ],
             rows,
         }
     }
@@ -440,13 +530,21 @@ impl Experiments {
             .map(|&(n, p)| {
                 let m = self.tm_tera(n);
                 let p1 = paper::TABLE11[0].1;
-                vec![Cell::text(n.to_string()), Cell::val(m, p), Cell::val(t1 / m, p1 / p)]
+                vec![
+                    Cell::text(n.to_string()),
+                    Cell::val(m, p),
+                    Cell::val(t1 / m, p1 / p),
+                ]
             })
             .collect();
         Table {
             id: "Table 11".into(),
             title: "Multithreaded (fine-grained) Terrain Masking on dual-processor Tera MTA".into(),
-            headers: vec!["Number of Processors".into(), "Time (seconds)".into(), "Speedup".into()],
+            headers: vec![
+                "Number of Processors".into(),
+                "Time (seconds)".into(),
+                "Speedup".into(),
+            ],
             rows,
         }
     }
@@ -455,11 +553,27 @@ impl Experiments {
     pub fn table12(&self) -> Table {
         let seq = self.tm_seq_secs();
         let rows = vec![
-            vec![Cell::text("None"), Cell::text("Alpha"), Cell::val(seq[0], 158.0)],
-            vec![Cell::text(""), Cell::text("Pentium Pro"), Cell::val(seq[1], 197.0)],
-            vec![Cell::text(""), Cell::text("Exemplar"), Cell::val(seq[2], 228.0)],
+            vec![
+                Cell::text("None"),
+                Cell::text("Alpha"),
+                Cell::val(seq[0], 158.0),
+            ],
+            vec![
+                Cell::text(""),
+                Cell::text("Pentium Pro"),
+                Cell::val(seq[1], 197.0),
+            ],
+            vec![
+                Cell::text(""),
+                Cell::text("Exemplar"),
+                Cell::val(seq[2], 228.0),
+            ],
             vec![Cell::text(""), Cell::text("Tera"), Cell::val(seq[3], 978.0)],
-            vec![Cell::text("Automatic"), Cell::text("Exemplar"), Cell::val(seq[2], 228.0)],
+            vec![
+                Cell::text("Automatic"),
+                Cell::text("Exemplar"),
+                Cell::val(seq[2], 228.0),
+            ],
             vec![Cell::text(""), Cell::text("Tera"), Cell::val(seq[3], 978.0)],
             vec![
                 Cell::text("Manual"),
@@ -481,33 +595,60 @@ impl Experiments {
                 Cell::text("Exemplar (16 processors)"),
                 Cell::val(self.tm_conv_parallel(&self.cal.exemplar, 16), 37.0),
             ],
-            vec![Cell::text(""), Cell::text("Tera MTA (1 processor)"), Cell::val(self.tm_tera(1), 48.0)],
-            vec![Cell::text(""), Cell::text("Tera MTA (2 processors)"), Cell::val(self.tm_tera(2), 34.0)],
+            vec![
+                Cell::text(""),
+                Cell::text("Tera MTA (1 processor)"),
+                Cell::val(self.tm_tera(1), 48.0),
+            ],
+            vec![
+                Cell::text(""),
+                Cell::text("Tera MTA (2 processors)"),
+                Cell::val(self.tm_tera(2), 34.0),
+            ],
         ];
         Table {
             id: "Table 12".into(),
             title: "Performance comparison for execution times of Terrain Masking".into(),
-            headers: vec!["Parallelization".into(), "Platform".into(), "Time (seconds)".into()],
+            headers: vec![
+                "Parallelization".into(),
+                "Platform".into(),
+                "Time (seconds)".into(),
+            ],
             rows,
         }
     }
 
-    /// Every table, in paper order.
+    /// Every table, in paper order. Generated across all host processors;
+    /// identical output to generating them one at a time.
     pub fn all_tables(&self) -> Vec<Table> {
-        vec![
-            self.table1(),
-            self.table2(),
-            self.table3(),
-            self.table4(),
-            self.table5(),
-            self.table6(),
-            self.table7(),
-            self.table8(),
-            self.table9(),
-            self.table10(),
-            self.table11(),
-            self.table12(),
-        ]
+        self.all_tables_with_threads(ThreadPool::host().n_threads())
+    }
+
+    /// [`Experiments::all_tables`] with an explicit worker count.
+    ///
+    /// Each table is a pure function of `&self`, so the generators run as a
+    /// static `multithreaded_for` over the fixed row of 12 (Program 2's
+    /// schedule: table costs are uniform enough that self-scheduling buys
+    /// nothing). [`par_map`] preserves paper order regardless of thread
+    /// interleaving.
+    pub fn all_tables_with_threads(&self, n_threads: usize) -> Vec<Table> {
+        const GENERATORS: [fn(&Experiments) -> Table; 12] = [
+            Experiments::table1,
+            Experiments::table2,
+            Experiments::table3,
+            Experiments::table4,
+            Experiments::table5,
+            Experiments::table6,
+            Experiments::table7,
+            Experiments::table8,
+            Experiments::table9,
+            Experiments::table10,
+            Experiments::table11,
+            Experiments::table12,
+        ];
+        par_map(GENERATORS.len(), n_threads, Schedule::Static, |i| {
+            GENERATORS[i](self)
+        })
     }
 
     // ── figures ──────────────────────────────────────────────────────────
@@ -550,18 +691,22 @@ impl Experiments {
     /// Render a figure as an ASCII plot.
     pub fn figure(&self, f: Figure) -> String {
         let (id, title) = match f {
-            Figure::ThreatPPro => {
-                ("Figure 1", "Speedup of multithreaded Threat Analysis on quad Pentium Pro")
-            }
-            Figure::ThreatExemplar => {
-                ("Figure 2", "Speedup of multithreaded Threat Analysis on 16-processor Exemplar")
-            }
-            Figure::TerrainPPro => {
-                ("Figure 3", "Speedup of coarse-grained Terrain Masking on quad Pentium Pro")
-            }
-            Figure::TerrainExemplar => {
-                ("Figure 4", "Speedup of multithreaded Terrain Masking on 16-processor Exemplar")
-            }
+            Figure::ThreatPPro => (
+                "Figure 1",
+                "Speedup of multithreaded Threat Analysis on quad Pentium Pro",
+            ),
+            Figure::ThreatExemplar => (
+                "Figure 2",
+                "Speedup of multithreaded Threat Analysis on 16-processor Exemplar",
+            ),
+            Figure::TerrainPPro => (
+                "Figure 3",
+                "Speedup of coarse-grained Terrain Masking on quad Pentium Pro",
+            ),
+            Figure::TerrainExemplar => (
+                "Figure 4",
+                "Speedup of multithreaded Terrain Masking on 16-processor Exemplar",
+            ),
         };
         let (model, paper_pts) = self.figure_series(f);
         ascii_speedup_figure(id, title, &model, &paper_pts)
@@ -572,7 +717,9 @@ impl Experiments {
     /// The automatic-parallelization experiment (§5/§6/§7): run the
     /// modeled compiler over the benchmark loop nests.
     pub fn autopar_report(&self) -> AutoparSummary {
-        AutoparSummary { report: autopar::programs::benchmark_report() }
+        AutoparSummary {
+            report: autopar::programs::benchmark_report(),
+        }
     }
 
     /// Robustness analysis: perturb each calibrated constant by ±20% and
@@ -584,14 +731,21 @@ impl Experiments {
     pub fn sensitivity(&self) -> Table {
         // Headline metrics, computed against a given calibration.
         let metrics = |cal: &Calibration| -> [f64; 3] {
-            let with = Experiments { workload: self.workload.clone(), cal: cal.clone() };
-            let tera_seq_ta: f64 =
-                with.workload.ta_seq.iter().map(|p| cal.tera.seq_seconds(p, cal.s_ta)).sum();
+            let with = Experiments {
+                workload: self.workload.clone(),
+                cal: cal.clone(),
+            };
+            let tera_seq_ta: f64 = with
+                .workload
+                .ta_seq
+                .iter()
+                .map(|p| cal.tera.seq_seconds(p, cal.s_ta))
+                .sum();
             let alpha_ta = with.sum_seq(&cal.alpha, &with.workload.ta_seq, cal.s_ta);
             [
-                tera_seq_ta / alpha_ta,                       // Tera-vs-Alpha sequential slowdown
+                tera_seq_ta / alpha_ta, // Tera-vs-Alpha sequential slowdown
                 with.ta_tera(256, 1) / with.ta_conv_parallel(&cal.exemplar, 4), // Tera(1)/Exemplar(4)
-                with.tm_tera(1) / with.tm_tera(2),            // TM 2-proc speedup
+                with.tm_tera(1) / with.tm_tera(2),                              // TM 2-proc speedup
             ]
         };
         let base = metrics(&self.cal);
@@ -600,10 +754,13 @@ impl Experiments {
         let mut push = |name: &str, lo: Calibration, hi: Calibration| {
             let l = metrics(&lo);
             let h = metrics(&hi);
-            for (i, label) in
-                ["Tera/Alpha seq slowdown", "Tera(1)/Exemplar(4) TA", "TM 2-proc speedup"]
-                    .iter()
-                    .enumerate()
+            for (i, label) in [
+                "Tera/Alpha seq slowdown",
+                "Tera(1)/Exemplar(4) TA",
+                "TM 2-proc speedup",
+            ]
+            .iter()
+            .enumerate()
             {
                 rows.push(vec![
                     Cell::text(name.to_string()),
@@ -636,14 +793,22 @@ impl Experiments {
             c.alpha.stream_cost *= f;
             c
         };
-        push("SMP streaming-op cost ±20%", scale_stream(0.8), scale_stream(1.2));
+        push(
+            "SMP streaming-op cost ±20%",
+            scale_stream(0.8),
+            scale_stream(1.2),
+        );
 
         let scale_kappa = |f: f64| -> Calibration {
             let mut c = self.cal.clone();
             c.tera.spawn_cycles_per_task *= f;
             c
         };
-        push("fine-grain spawn cost ±20%", scale_kappa(0.8), scale_kappa(1.2));
+        push(
+            "fine-grain spawn cost ±20%",
+            scale_kappa(0.8),
+            scale_kappa(1.2),
+        );
 
         Table {
             id: "Sensitivity".into(),
@@ -728,8 +893,7 @@ impl AutoparSummary {
     /// Whether all four benchmark loop nests were rejected (the control
     /// loop is index 4).
     pub fn all_rejected_for_benchmarks(&self) -> bool {
-        self.report.verdicts[..4].iter().all(|v| !v.parallel)
-            && self.report.verdicts[4].parallel
+        self.report.verdicts[..4].iter().all(|v| !v.parallel) && self.report.verdicts[4].parallel
     }
 }
 
@@ -763,21 +927,33 @@ mod tests {
     fn table3_ppro_threat_scaling_is_close() {
         let e = exps();
         let err = max_rel_error(&e.table3());
-        assert!(err < 0.15, "Table 3 worst error {err}:\n{}", e.table3().render());
+        assert!(
+            err < 0.15,
+            "Table 3 worst error {err}:\n{}",
+            e.table3().render()
+        );
     }
 
     #[test]
     fn table4_exemplar_threat_scaling_is_close() {
         let e = exps();
         let err = max_rel_error(&e.table4());
-        assert!(err < 0.20, "Table 4 worst error {err}:\n{}", e.table4().render());
+        assert!(
+            err < 0.20,
+            "Table 4 worst error {err}:\n{}",
+            e.table4().render()
+        );
     }
 
     #[test]
     fn table5_tera_threat_matches_shape() {
         let e = exps();
         let err = max_rel_error(&e.table5());
-        assert!(err < 0.20, "Table 5 worst error {err}:\n{}", e.table5().render());
+        assert!(
+            err < 0.20,
+            "Table 5 worst error {err}:\n{}",
+            e.table5().render()
+        );
     }
 
     #[test]
@@ -785,7 +961,10 @@ mod tests {
         let e = exps();
         let t = e.table6();
         // Monotone non-increasing in chunk count, saturating at the end.
-        let times: Vec<f64> = paper::TABLE6.iter().map(|&(c, _)| e.ta_tera(c, 2)).collect();
+        let times: Vec<f64> = paper::TABLE6
+            .iter()
+            .map(|&(c, _)| e.ta_tera(c, 2))
+            .collect();
         for w in times.windows(2) {
             assert!(w[1] <= w[0] * 1.02, "sweep must not regress: {times:?}");
         }
@@ -800,7 +979,11 @@ mod tests {
     fn table9_ppro_terrain_saturates() {
         let e = exps();
         let err = max_rel_error(&e.table9());
-        assert!(err < 0.25, "Table 9 worst error {err}:\n{}", e.table9().render());
+        assert!(
+            err < 0.25,
+            "Table 9 worst error {err}:\n{}",
+            e.table9().render()
+        );
         // Speedup at 4 processors must be well below 4 (memory-bound).
         let seq = e.tm_seq_secs()[1];
         let s4 = seq / e.tm_conv_parallel(&e.cal.ppro, 4);
@@ -817,7 +1000,11 @@ mod tests {
         // Mid-range rows within a loose band (the paper's own data is
         // noisy and non-monotonic there).
         let err = max_rel_error(&e.table10());
-        assert!(err < 0.45, "Table 10 worst error {err}:\n{}", e.table10().render());
+        assert!(
+            err < 0.45,
+            "Table 10 worst error {err}:\n{}",
+            e.table10().render()
+        );
     }
 
     #[test]
@@ -828,7 +1015,10 @@ mod tests {
         let t2 = e.tm_tera(2);
         assert!((t2 - 34.0).abs() / 34.0 < 0.15, "Table 11 P=2: {t2}");
         let speedup = e.tm_tera(1) / t2;
-        assert!((1.2..1.7).contains(&speedup), "fine-grained 2-proc speedup {speedup}");
+        assert!(
+            (1.2..1.7).contains(&speedup),
+            "fine-grained 2-proc speedup {speedup}"
+        );
     }
 
     #[test]
@@ -854,12 +1044,18 @@ mod tests {
         let tera1 = e.ta_tera(256, 1);
         let ex4 = e.ta_conv_parallel(&e.cal.exemplar, 4);
         let ratio = tera1 / ex4;
-        assert!((0.6..1.6).contains(&ratio), "Tera(1) vs Exemplar(4): {ratio}");
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "Tera(1) vs Exemplar(4): {ratio}"
+        );
         // §7: dual Tera ≈ eight Exemplar processors on TM.
         let tera2 = e.tm_tera(2);
         let ex8 = e.tm_conv_parallel(&e.cal.exemplar, 8);
         let ratio = tera2 / ex8;
-        assert!((0.6..1.6).contains(&ratio), "Tera(2) vs Exemplar(8): {ratio}");
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "Tera(2) vs Exemplar(8): {ratio}"
+        );
         // Sequential Tera is dramatically slower than everything.
         let ta = e.ta_seq_secs();
         assert!(ta[3] > 5.0 * ta[1]);
@@ -868,7 +1064,12 @@ mod tests {
     #[test]
     fn figures_render_and_match_monotonicity() {
         let e = exps();
-        for f in [Figure::ThreatPPro, Figure::ThreatExemplar, Figure::TerrainPPro, Figure::TerrainExemplar] {
+        for f in [
+            Figure::ThreatPPro,
+            Figure::ThreatExemplar,
+            Figure::TerrainPPro,
+            Figure::TerrainExemplar,
+        ] {
             let plot = e.figure(f);
             assert!(plot.contains("Figure"));
             let (model, _) = e.figure_series(f);
@@ -957,7 +1158,10 @@ mod tests {
         let ta_speedup_32 = ta[0] / ta[5];
         let tm_speedup_256 = tm[0] / tm[procs.len() - 1];
         assert!(ta_speedup_32 > 10.0, "TA projection: {ta_speedup_32}");
-        assert!(tm_speedup_256 < 3.0, "TM must hit the spawn wall: {tm_speedup_256}");
+        assert!(
+            tm_speedup_256 < 3.0,
+            "TM must hit the spawn wall: {tm_speedup_256}"
+        );
         assert!(ta_speedup_32 > 3.0 * tm_speedup_256);
     }
 

@@ -25,6 +25,7 @@
 //! See EXPERIMENTS.md at the repository root for paper-vs-model numbers
 //! for every row.
 
+pub mod cache;
 pub mod calibrate;
 pub mod experiments;
 pub mod models;
@@ -32,6 +33,7 @@ pub mod tables;
 pub mod validate;
 pub mod workload;
 
+pub use cache::{load_or_measure, CacheStatus, Snapshot};
 pub use calibrate::{calibrate, Calibration, PaperAnchors};
 pub use experiments::{Experiments, Figure};
 pub use models::{ConventionalModel, TeraModel};

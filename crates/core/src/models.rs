@@ -24,7 +24,7 @@ use c3i::{PhasedProfile, Profile};
 use sthreads::OpCounts;
 
 /// A cache-based conventional platform.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ConventionalModel {
     /// Platform name as in Table 1.
     pub name: String,
@@ -66,8 +66,7 @@ impl ConventionalModel {
     /// factor `scale` (see `calibrate`).
     pub fn seq_seconds(&self, profile: &Profile, scale: f64) -> f64 {
         let total = profile.total();
-        (scale * self.cpu_cycles(&total) + self.overhead_cycles(&total))
-            / (self.clock_mhz * 1e6)
+        (scale * self.cpu_cycles(&total) + self.overhead_cycles(&total)) / (self.clock_mhz * 1e6)
     }
 
     /// Seconds for a parallel run: logical threads of the profile's
@@ -75,7 +74,12 @@ impl ConventionalModel {
     /// critical path is the most-loaded processor, and aggregate
     /// streaming traffic cannot exceed the interconnect's bandwidth.
     pub fn parallel_seconds(&self, profile: &Profile, n_procs: usize, scale: f64) -> f64 {
-        assert!(n_procs >= 1 && n_procs <= self.n_processors, "{} has {} processors", self.name, self.n_processors);
+        assert!(
+            n_procs >= 1 && n_procs <= self.n_processors,
+            "{} has {} processors",
+            self.name,
+            self.n_processors
+        );
         let serial =
             scale * self.cpu_cycles(&profile.serial) + self.overhead_cycles(&profile.total());
         let per_worker = self.worker_cycles(profile, n_procs);
@@ -103,7 +107,7 @@ impl ConventionalModel {
 }
 
 /// The Tera MTA analytic model.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TeraModel {
     /// Clock rate (MHz): 255.
     pub clock_mhz: f64,
@@ -240,7 +244,9 @@ impl TeraModel {
             let instr = ph.ops.instructions() as f64;
             let latency = self.avg_latency(&ph.ops);
             // Streams available per processor for this phase.
-            let s = (ph.width as f64 / p).min(self.streams_per_processor as f64).max(1.0);
+            let s = (ph.width as f64 / p)
+                .min(self.streams_per_processor as f64)
+                .max(1.0);
             let per_proc_instr = instr / p;
             issue_cycles += per_proc_instr.max(per_proc_instr * latency / s);
         }
@@ -260,7 +266,11 @@ mod tests {
     use sthreads::ThreadCounts;
 
     fn ops(compute: u64, stream: u64) -> OpCounts {
-        OpCounts { int_ops: compute, stream_loads: stream, ..OpCounts::default() }
+        OpCounts {
+            int_ops: compute,
+            stream_loads: stream,
+            ..OpCounts::default()
+        }
     }
 
     fn conv() -> ConventionalModel {
@@ -319,7 +329,10 @@ mod tests {
         let t1 = m.parallel_seconds(&p, 1, 1.0);
         let t8 = m.parallel_seconds(&p, 8, 1.0);
         let speedup = t1 / t8;
-        assert!(speedup < 3.0, "bus must cap memory-bound speedup: {speedup}");
+        assert!(
+            speedup < 3.0,
+            "bus must cap memory-bound speedup: {speedup}"
+        );
     }
 
     #[test]
@@ -331,11 +344,12 @@ mod tests {
         };
         let mut threads = vec![ops(10, 0); 3];
         threads.push(ops(370, 0));
-        let skewed = Profile { serial: OpCounts::default(), parallel: ThreadCounts::new(threads) };
+        let skewed = Profile {
+            serial: OpCounts::default(),
+            parallel: ThreadCounts::new(threads),
+        };
         // Same total work; the skewed decomposition must be slower on 4.
-        assert!(
-            m.parallel_seconds(&skewed, 4, 1.0) > 2.0 * m.parallel_seconds(&balanced, 4, 1.0)
-        );
+        assert!(m.parallel_seconds(&skewed, 4, 1.0) > 2.0 * m.parallel_seconds(&balanced, 4, 1.0));
     }
 
     #[test]
@@ -358,15 +372,24 @@ mod tests {
         let mk = |chunks: usize| Profile {
             serial: OpCounts::default(),
             parallel: ThreadCounts::new(vec![
-                ops(5_000_000 / chunks as u64, 5_000_000 / chunks as u64);
+                ops(
+                    5_000_000 / chunks as u64,
+                    5_000_000 / chunks as u64
+                );
                 chunks
             ]),
         };
         let t4 = m.chunked_seconds(&mk(4), 1, 1.0);
         let t32 = m.chunked_seconds(&mk(32), 1, 1.0);
         let t128 = m.chunked_seconds(&mk(128), 1, 1.0);
-        assert!(t4 > 4.0 * t32, "4 chunks must be far from saturation: {t4} vs {t32}");
-        assert!(t32 > 1.2 * t128, "32 streams cannot cover L=45.5: {t32} vs {t128}");
+        assert!(
+            t4 > 4.0 * t32,
+            "4 chunks must be far from saturation: {t4} vs {t32}"
+        );
+        assert!(
+            t32 > 1.2 * t128,
+            "32 streams cannot cover L=45.5: {t32} vs {t128}"
+        );
         // At 128 chunks utilization is 1: issue time = instr/clock.
         assert!((t128 - 10e6 / 255e6).abs() / t128 < 0.01, "{t128}");
     }
@@ -390,7 +413,10 @@ mod tests {
         let sat = m.chunked_seconds(&par, 1, 1.0);
         let ratio = seq / sat;
         let expected_l = m.avg_latency(&mix);
-        assert!((ratio - expected_l).abs() / expected_l < 0.05, "{ratio} vs {expected_l}");
+        assert!(
+            (ratio - expected_l).abs() / expected_l < 0.05,
+            "{ratio} vs {expected_l}"
+        );
     }
 
     #[test]
@@ -415,7 +441,11 @@ mod tests {
         };
         let t1 = m.chunked_seconds(&par, 1, 1.0);
         let t2 = m.chunked_seconds(&par, 2, 1.0);
-        assert!(t1 / t2 < 1.1, "network-capped work must not scale: {}", t1 / t2);
+        assert!(
+            t1 / t2 < 1.1,
+            "network-capped work must not scale: {}",
+            t1 / t2
+        );
     }
 
     #[test]
@@ -423,12 +453,18 @@ mod tests {
         let m = tera();
         let wide = PhasedProfile {
             serial: OpCounts::default(),
-            phases: vec![ParallelPhase { width: 1000, ops: ops(1_000_000, 0) }],
+            phases: vec![ParallelPhase {
+                width: 1000,
+                ops: ops(1_000_000, 0),
+            }],
         };
         let narrow = PhasedProfile {
             serial: OpCounts::default(),
             phases: (0..100)
-                .map(|_| ParallelPhase { width: 10, ops: ops(10_000, 0) })
+                .map(|_| ParallelPhase {
+                    width: 10,
+                    ops: ops(10_000, 0),
+                })
                 .collect(),
         };
         // Same total instructions, same spawn totals — narrow phases must
@@ -443,11 +479,17 @@ mod tests {
         let m = tera();
         let few_tasks = PhasedProfile {
             serial: OpCounts::default(),
-            phases: vec![ParallelPhase { width: 128, ops: ops(1_000_000, 0) }],
+            phases: vec![ParallelPhase {
+                width: 128,
+                ops: ops(1_000_000, 0),
+            }],
         };
         let many_tasks = PhasedProfile {
             serial: OpCounts::default(),
-            phases: vec![ParallelPhase { width: 1_000_000, ops: ops(1_000_000, 0) }],
+            phases: vec![ParallelPhase {
+                width: 1_000_000,
+                ops: ops(1_000_000, 0),
+            }],
         };
         assert!(m.phased_seconds(&many_tasks, 1, 1.0) > m.phased_seconds(&few_tasks, 1, 1.0));
     }

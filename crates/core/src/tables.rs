@@ -40,7 +40,10 @@ impl Cell {
 
     /// Modeled value with a paper reference.
     pub fn val(model: f64, paper: f64) -> Self {
-        Cell::Value { model, paper: Some(paper) }
+        Cell::Value {
+            model,
+            paper: Some(paper),
+        }
     }
 
     /// Modeled value without a published reference.
@@ -59,7 +62,10 @@ impl Table {
                 row.iter()
                     .map(|c| match c {
                         Cell::Text(s) => s.clone(),
-                        Cell::Value { model, paper: Some(p) } => {
+                        Cell::Value {
+                            model,
+                            paper: Some(p),
+                        } => {
                             format!("{model:.1} (paper {p:.1})")
                         }
                         Cell::Value { model, paper: None } => format!("{model:.1}"),
@@ -86,7 +92,13 @@ impl Table {
             out.push('\n');
             if ri == 0 {
                 out.push_str("  ");
-                out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+                out.push_str(
+                    &widths
+                        .iter()
+                        .map(|w| "-".repeat(*w))
+                        .collect::<Vec<_>>()
+                        .join("  "),
+                );
                 out.push('\n');
             }
         }
@@ -129,7 +141,10 @@ impl Table {
             .iter()
             .flatten()
             .filter_map(|c| match c {
-                Cell::Value { model, paper: Some(p) } => Some((*model, *p)),
+                Cell::Value {
+                    model,
+                    paper: Some(p),
+                } => Some((*model, *p)),
                 _ => None,
             })
             .collect()
@@ -144,7 +159,12 @@ pub fn ascii_speedup_figure(
     model: &[(usize, f64)],
     paper: &[(usize, f64)],
 ) -> String {
-    let max_x = model.iter().chain(paper).map(|&(x, _)| x).max().unwrap_or(1);
+    let max_x = model
+        .iter()
+        .chain(paper)
+        .map(|&(x, _)| x)
+        .max()
+        .unwrap_or(1);
     let max_y = model
         .iter()
         .chain(paper)
@@ -208,7 +228,10 @@ mod tests {
     fn csv_has_paired_columns() {
         let csv = sample().to_csv();
         let mut lines = csv.lines();
-        assert_eq!(lines.next().unwrap(), "Platform,Platform (paper),Time (s),Time (s) (paper)");
+        assert_eq!(
+            lines.next().unwrap(),
+            "Platform,Platform (paper),Time (s),Time (s) (paper)"
+        );
         assert!(lines.next().unwrap().starts_with("Alpha,,185.000,187.000"));
     }
 

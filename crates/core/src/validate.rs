@@ -51,17 +51,26 @@ pub fn threat_analysis_trace(scenario: &ThreatScenario, max_pairs: usize) -> Vec
             for s in 0..steps {
                 // The predicate touches a handful of record words...
                 for k in 0..3 {
-                    trace.push(Op::Mem { addr: t_addr + k, write: false });
+                    trace.push(Op::Mem {
+                        addr: t_addr + k,
+                        write: false,
+                    });
                 }
                 for k in 0..2 {
-                    trace.push(Op::Mem { addr: w_addr + k, write: false });
+                    trace.push(Op::Mem {
+                        addr: w_addr + k,
+                        write: false,
+                    });
                 }
                 // ...and computes (trajectory + envelope + flyout).
                 trace.push(Op::Compute(25));
                 // Occasionally an interval is written out (streaming).
                 if s % 97 == 96 {
                     for k in 0..4 {
-                        trace.push(Op::Mem { addr: out_ptr + k, write: true });
+                        trace.push(Op::Mem {
+                            addr: out_ptr + k,
+                            write: true,
+                        });
                     }
                     out_ptr += 4;
                 }
@@ -83,26 +92,53 @@ pub fn terrain_masking_trace(scenario: &TerrainScenario, max_threats: usize) -> 
         let cell = |x: usize, y: usize| y * xs + x;
         // temp[c] = masking[c]
         for (x, y) in region.cells() {
-            trace.push(Op::Mem { addr: layout::MASKING + cell(x, y), write: false });
-            trace.push(Op::Mem { addr: layout::TEMP + cell(x, y), write: true });
+            trace.push(Op::Mem {
+                addr: layout::MASKING + cell(x, y),
+                write: false,
+            });
+            trace.push(Op::Mem {
+                addr: layout::TEMP + cell(x, y),
+                write: true,
+            });
         }
         // masking[c] = INF
         for (x, y) in region.cells() {
-            trace.push(Op::Mem { addr: layout::MASKING + cell(x, y), write: true });
+            trace.push(Op::Mem {
+                addr: layout::MASKING + cell(x, y),
+                write: true,
+            });
         }
         // recurrence: read parents (nearby ring cells) + terrain, write cell
         for (x, y) in region.cells() {
             trace.push(Op::Compute(12));
-            trace.push(Op::Mem { addr: layout::MASKING + cell(x, y), write: false });
-            trace.push(Op::Mem { addr: layout::TERRAIN + cell(x, y), write: false });
-            trace.push(Op::Mem { addr: layout::MASKING + cell(x, y), write: true });
+            trace.push(Op::Mem {
+                addr: layout::MASKING + cell(x, y),
+                write: false,
+            });
+            trace.push(Op::Mem {
+                addr: layout::TERRAIN + cell(x, y),
+                write: false,
+            });
+            trace.push(Op::Mem {
+                addr: layout::MASKING + cell(x, y),
+                write: true,
+            });
         }
         // masking[c] = min(masking[c], temp[c])
         for (x, y) in region.cells() {
-            trace.push(Op::Mem { addr: layout::MASKING + cell(x, y), write: false });
-            trace.push(Op::Mem { addr: layout::TEMP + cell(x, y), write: false });
+            trace.push(Op::Mem {
+                addr: layout::MASKING + cell(x, y),
+                write: false,
+            });
+            trace.push(Op::Mem {
+                addr: layout::TEMP + cell(x, y),
+                write: false,
+            });
             trace.push(Op::Compute(2));
-            trace.push(Op::Mem { addr: layout::MASKING + cell(x, y), write: true });
+            trace.push(Op::Mem {
+                addr: layout::MASKING + cell(x, y),
+                write: true,
+            });
         }
     }
     trace
@@ -112,7 +148,11 @@ pub fn terrain_masking_trace(scenario: &TerrainScenario, max_threats: usize) -> 
 /// words), 32-byte (4-word) lines, 4-way.
 pub fn validation_cpu() -> CpuConfig {
     CpuConfig {
-        cache: CacheConfig { words: 128 * 1024, line_words: 4, ways: 4 },
+        cache: CacheConfig {
+            words: 128 * 1024,
+            line_words: 4,
+            ways: 4,
+        },
         hit_cycles: 1,
         miss_extra_cycles: 40,
     }
@@ -149,21 +189,42 @@ pub fn terrain_masking_parallel_traces(
         let temp_base = layout::TEMP + (ti % n_cpus) * 0x8_0000;
         // temp = INF; temp = recurrence(terrain)
         for (x, y) in region.cells() {
-            trace.push(Op::Mem { addr: temp_base + cell(x, y), write: true });
+            trace.push(Op::Mem {
+                addr: temp_base + cell(x, y),
+                write: true,
+            });
         }
         for (x, y) in region.cells() {
             trace.push(Op::Compute(12));
-            trace.push(Op::Mem { addr: temp_base + cell(x, y), write: false });
-            trace.push(Op::Mem { addr: layout::TERRAIN + cell(x, y), write: false });
-            trace.push(Op::Mem { addr: temp_base + cell(x, y), write: true });
+            trace.push(Op::Mem {
+                addr: temp_base + cell(x, y),
+                write: false,
+            });
+            trace.push(Op::Mem {
+                addr: layout::TERRAIN + cell(x, y),
+                write: false,
+            });
+            trace.push(Op::Mem {
+                addr: temp_base + cell(x, y),
+                write: true,
+            });
         }
         // masking = min(masking, temp) under block locks (lock cost folded
         // into compute).
         for (x, y) in region.cells() {
-            trace.push(Op::Mem { addr: layout::MASKING + cell(x, y), write: false });
-            trace.push(Op::Mem { addr: temp_base + cell(x, y), write: false });
+            trace.push(Op::Mem {
+                addr: layout::MASKING + cell(x, y),
+                write: false,
+            });
+            trace.push(Op::Mem {
+                addr: temp_base + cell(x, y),
+                write: false,
+            });
             trace.push(Op::Compute(2));
-            trace.push(Op::Mem { addr: layout::MASKING + cell(x, y), write: true });
+            trace.push(Op::Mem {
+                addr: layout::MASKING + cell(x, y),
+                write: true,
+            });
         }
     }
     traces

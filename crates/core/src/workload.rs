@@ -19,10 +19,10 @@
 use c3i::terrain::{self, TerrainScenario, TerrainScenarioParams};
 use c3i::threat::{self, ThreatScenario, ThreatScenarioParams};
 use c3i::{PhasedProfile, Profile};
-use sthreads::{chunk_range, OpCounts, OpRecorder, ThreadCounts};
+use sthreads::{chunk_range, par_map, OpCounts, OpRecorder, Schedule, ThreadCounts, ThreadPool};
 
 /// Workload size selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum WorkloadScale {
     /// The paper's stated benchmark scale.
     Paper,
@@ -36,7 +36,7 @@ pub const TM_BLOCKS: usize = 10;
 
 /// Measured operation profiles for the full benchmark suite (all
 /// scenarios of both problems).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Workload {
     /// Which scale was measured.
     pub scale: WorkloadScale,
@@ -97,24 +97,98 @@ fn tm_scenarios(scale: WorkloadScale) -> Vec<TerrainScenario> {
     }
 }
 
+/// One measurement task's output in [`Workload::build_with`]: the five
+/// expensive per-scenario measurements, tagged by kind.
+enum Measured {
+    TaPerThreat(Vec<OpCounts>),
+    TaSeq(Profile),
+    TmPerThreat(Vec<OpCounts>),
+    TmSeq(Profile),
+    TmFine(PhasedProfile),
+}
+
 impl Workload {
     /// Measure the workload at `scale` (runs every benchmark variant under
     /// the counting backend; seconds of host time at Paper scale).
+    /// Measurement tasks run across all host processors with dynamic
+    /// self-scheduling; results are identical to the sequential path.
     pub fn build(scale: WorkloadScale) -> Self {
+        Self::build_with(scale, ThreadPool::host().n_threads(), Schedule::Dynamic)
+    }
+
+    /// [`Workload::build`] with an explicit worker count and schedule.
+    ///
+    /// The counting backend is deterministic and every measurement task
+    /// writes into its own slot ([`par_map`]), so the result is
+    /// **bit-identical** for every `(n_threads, schedule)` — the paper's
+    /// own requirement that parallelization must not change program
+    /// output, applied to our harness. `n_threads == 1` is the sequential
+    /// oracle the regression tests compare against.
+    pub fn build_with(scale: WorkloadScale, n_threads: usize, schedule: Schedule) -> Self {
         let ta = ta_scenarios(scale);
         let tm = tm_scenarios(scale);
+        let (n_ta, n_tm) = (ta.len(), tm.len());
 
-        let ta_per_threat: Vec<Vec<OpCounts>> =
-            ta.iter().map(threat::per_threat_counts).collect();
-        let ta_seq: Vec<Profile> =
-            ta.iter().map(|s| threat::threat_analysis_profile(s).1).collect();
+        // One task per (measurement kind, scenario). Scenario sizes vary
+        // (irregular work — the paper's case for self-scheduling), so the
+        // default schedule is Dynamic.
+        let tasks = 2 * n_ta + 3 * n_tm;
+        let mut results = par_map(tasks, n_threads, schedule, |t| {
+            if t < n_ta {
+                Measured::TaPerThreat(threat::per_threat_counts(&ta[t]))
+            } else if t < 2 * n_ta {
+                Measured::TaSeq(threat::threat_analysis_profile(&ta[t - n_ta]).1)
+            } else if t < 2 * n_ta + n_tm {
+                Measured::TmPerThreat(terrain::per_threat_counts(&tm[t - 2 * n_ta], TM_BLOCKS))
+            } else if t < 2 * n_ta + 2 * n_tm {
+                Measured::TmSeq(terrain::terrain_masking_profile(&tm[t - 2 * n_ta - n_tm]).1)
+            } else {
+                Measured::TmFine(terrain::terrain_masking_fine(&tm[t - 2 * n_ta - 2 * n_tm]).1)
+            }
+        })
+        .into_iter();
 
-        let tm_per_threat: Vec<Vec<OpCounts>> =
-            tm.iter().map(|s| terrain::per_threat_counts(s, TM_BLOCKS)).collect();
-        let tm_seq: Vec<Profile> =
-            tm.iter().map(|s| terrain::terrain_masking_profile(s).1).collect();
-        let tm_fine: Vec<PhasedProfile> =
-            tm.iter().map(|s| terrain::terrain_masking_fine(s).1).collect();
+        // `par_map` returns task outputs in task order, so each vector
+        // assembles in scenario order exactly as the sequential maps did.
+        let ta_per_threat: Vec<Vec<OpCounts>> = results
+            .by_ref()
+            .take(n_ta)
+            .map(|m| match m {
+                Measured::TaPerThreat(v) => v,
+                _ => unreachable!("task layout: TA per-threat block"),
+            })
+            .collect();
+        let ta_seq: Vec<Profile> = results
+            .by_ref()
+            .take(n_ta)
+            .map(|m| match m {
+                Measured::TaSeq(p) => p,
+                _ => unreachable!("task layout: TA sequential block"),
+            })
+            .collect();
+        let tm_per_threat: Vec<Vec<OpCounts>> = results
+            .by_ref()
+            .take(n_tm)
+            .map(|m| match m {
+                Measured::TmPerThreat(v) => v,
+                _ => unreachable!("task layout: TM per-threat block"),
+            })
+            .collect();
+        let tm_seq: Vec<Profile> = results
+            .by_ref()
+            .take(n_tm)
+            .map(|m| match m {
+                Measured::TmSeq(p) => p,
+                _ => unreachable!("task layout: TM sequential block"),
+            })
+            .collect();
+        let tm_fine: Vec<PhasedProfile> = results
+            .map(|m| match m {
+                Measured::TmFine(p) => p,
+                _ => unreachable!("task layout: TM fine block"),
+            })
+            .collect();
+
         let tm_serial: Vec<OpCounts> = tm
             .iter()
             .map(|s| {
@@ -125,7 +199,15 @@ impl Workload {
             })
             .collect();
 
-        Self { scale, ta_per_threat, ta_seq, tm_per_threat, tm_seq, tm_fine, tm_serial }
+        Self {
+            scale,
+            ta_per_threat,
+            ta_seq,
+            tm_per_threat,
+            tm_seq,
+            tm_fine,
+            tm_serial,
+        }
     }
 
     /// Number of scenarios in the suite.
@@ -150,7 +232,10 @@ impl Workload {
                 let mut serial = OpRecorder::new();
                 serial.int(2 * n_chunks as u64);
                 serial.spawn(n_chunks as u64);
-                Profile { serial: serial.counts(), parallel: ThreadCounts::new(chunks) }
+                Profile {
+                    serial: serial.counts(),
+                    parallel: ThreadCounts::new(chunks),
+                }
             })
             .collect()
     }

@@ -24,11 +24,22 @@ use std::collections::HashMap;
 enum Pending {
     Ready(Instr),
     /// Instruction whose `Target` must be patched to `label`'s address.
-    Branch { make: fn(Target) -> Instr, label: String },
+    Branch {
+        make: fn(Target) -> Instr,
+        label: String,
+    },
     /// Like `Branch` but for two-register branches.
-    CondBranch { make: fn(Reg, Reg, Target) -> Instr, ra: Reg, rb: Reg, label: String },
+    CondBranch {
+        make: fn(Reg, Reg, Target) -> Instr,
+        ra: Reg,
+        rb: Reg,
+        label: String,
+    },
     /// Fork whose entry is a label.
-    Fork { label: String, arg: Reg },
+    Fork {
+        label: String,
+        arg: Reg,
+    },
 }
 
 /// Incremental program builder with named labels.
@@ -69,7 +80,10 @@ impl Assembler {
 
     /// `rd = imm` for an f64 constant (bit pattern).
     pub fn lif(&mut self, rd: Reg, imm: f64) {
-        self.emit(Instr::Li { rd, imm: imm.to_bits() as i64 });
+        self.emit(Instr::Li {
+            rd,
+            imm: imm.to_bits() as i64,
+        });
     }
 
     /// `rd = rs`
@@ -144,37 +158,66 @@ impl Assembler {
 
     /// `mem[base+off] = rs` (ordinary).
     pub fn store(&mut self, rs: Reg, base: Reg, off: i64) {
-        self.emit(Instr::Store { rs, base, offset: off });
+        self.emit(Instr::Store {
+            rs,
+            base,
+            offset: off,
+        });
     }
 
     /// `rd = mem[base+off]` (ordinary).
     pub fn load(&mut self, rd: Reg, base: Reg, off: i64) {
-        self.emit(Instr::Load { rd, base, offset: off });
+        self.emit(Instr::Load {
+            rd,
+            base,
+            offset: off,
+        });
     }
 
     /// Synchronized consuming load (wait full → set empty).
     pub fn load_sync(&mut self, rd: Reg, base: Reg, off: i64) {
-        self.emit(Instr::LoadSync { rd, base, offset: off });
+        self.emit(Instr::LoadSync {
+            rd,
+            base,
+            offset: off,
+        });
     }
 
     /// Synchronized store (wait empty → set full).
     pub fn store_sync(&mut self, rs: Reg, base: Reg, off: i64) {
-        self.emit(Instr::StoreSync { rs, base, offset: off });
+        self.emit(Instr::StoreSync {
+            rs,
+            base,
+            offset: off,
+        });
     }
 
     /// Read-and-leave-full.
     pub fn read_ff(&mut self, rd: Reg, base: Reg, off: i64) {
-        self.emit(Instr::ReadFF { rd, base, offset: off });
+        self.emit(Instr::ReadFF {
+            rd,
+            base,
+            offset: off,
+        });
     }
 
     /// Unconditional publish (set full).
     pub fn put(&mut self, rs: Reg, base: Reg, off: i64) {
-        self.emit(Instr::Put { rs, base, offset: off });
+        self.emit(Instr::Put {
+            rs,
+            base,
+            offset: off,
+        });
     }
 
     /// Atomic fetch-and-add.
     pub fn fetch_add(&mut self, rd: Reg, base: Reg, off: i64, rs: Reg) {
-        self.emit(Instr::FetchAdd { rd, base, offset: off, rs });
+        self.emit(Instr::FetchAdd {
+            rd,
+            base,
+            offset: off,
+            rs,
+        });
     }
 
     /// Terminate the stream.
@@ -186,7 +229,10 @@ impl Assembler {
 
     /// Unconditional jump to `label`.
     pub fn jmp_l(&mut self, label: &str) {
-        self.pending.push(Pending::Branch { make: |t| Instr::Jmp { target: t }, label: label.to_string() });
+        self.pending.push(Pending::Branch {
+            make: |t| Instr::Jmp { target: t },
+            label: label.to_string(),
+        });
     }
 
     /// Branch to `label` if `ra == rb`.
@@ -231,7 +277,10 @@ impl Assembler {
 
     /// Fork a stream at `label` with `r1 = regs[arg]`.
     pub fn fork_l(&mut self, label: &str, arg: Reg) {
-        self.pending.push(Pending::Fork { label: label.to_string(), arg });
+        self.pending.push(Pending::Fork {
+            label: label.to_string(),
+            arg,
+        });
     }
 
     /// Resolve labels and produce the validated [`Program`].
@@ -248,8 +297,16 @@ impl Assembler {
             .map(|p| match p {
                 Pending::Ready(i) => Ok(*i),
                 Pending::Branch { make, label } => Ok(make(resolve(label)?)),
-                Pending::CondBranch { make, ra, rb, label } => Ok(make(*ra, *rb, resolve(label)?)),
-                Pending::Fork { label, arg } => Ok(Instr::Fork { entry: resolve(label)?, arg: *arg }),
+                Pending::CondBranch {
+                    make,
+                    ra,
+                    rb,
+                    label,
+                } => Ok(make(*ra, *rb, resolve(label)?)),
+                Pending::Fork { label, arg } => Ok(Instr::Fork {
+                    entry: resolve(label)?,
+                    arg: *arg,
+                }),
             })
             .collect();
         let program = Program::new(code?);

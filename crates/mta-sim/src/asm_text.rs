@@ -39,7 +39,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
@@ -48,7 +51,9 @@ fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
         .strip_prefix('r')
         .or_else(|| t.strip_prefix('R'))
         .ok_or_else(|| err(line, format!("expected register, got {t:?}")))?;
-    let n: u8 = num.parse().map_err(|_| err(line, format!("bad register {t:?}")))?;
+    let n: u8 = num
+        .parse()
+        .map_err(|_| err(line, format!("bad register {t:?}")))?;
     if n as usize >= crate::ir::NUM_REGS {
         return Err(err(line, format!("register {t} out of range")));
     }
@@ -56,7 +61,9 @@ fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
 }
 
 fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
-    tok.trim().parse().map_err(|_| err(line, format!("bad integer {tok:?}")))
+    tok.trim()
+        .parse()
+        .map_err(|_| err(line, format!("bad integer {tok:?}")))
 }
 
 /// Parse a memory operand `offset(rBase)` (offset optional, default 0).
@@ -69,7 +76,11 @@ fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i64), ParseError> {
         return Err(err(line, format!("missing ')' in {t:?}")));
     };
     let off_str = &t[..open];
-    let offset = if off_str.is_empty() { 0 } else { parse_imm(off_str, line)? };
+    let offset = if off_str.is_empty() {
+        0
+    } else {
+        parse_imm(off_str, line)?
+    };
     Ok((parse_reg(stripped, line)?, offset))
 }
 
@@ -103,13 +114,19 @@ pub fn assemble_text(source: &str) -> Result<Program, ParseError> {
             Some(pos) => (&rest[..pos], rest[pos..].trim()),
             None => (rest, ""),
         };
-        let args: Vec<&str> =
-            if args_str.is_empty() { Vec::new() } else { args_str.split(',').collect() };
+        let args: Vec<&str> = if args_str.is_empty() {
+            Vec::new()
+        } else {
+            args_str.split(',').collect()
+        };
         let want = |n: usize| -> Result<(), ParseError> {
             if args.len() == n {
                 Ok(())
             } else {
-                Err(err(lineno, format!("{mnemonic} expects {n} operands, got {}", args.len())))
+                Err(err(
+                    lineno,
+                    format!("{mnemonic} expects {n} operands, got {}", args.len()),
+                ))
             }
         };
 
@@ -264,8 +281,14 @@ mod tests {
 
     fn run(src: &str, arg: u64) -> Machine {
         let program = assemble_text(src).expect("assembly failed");
-        let mut m = Machine::new(MtaConfig { mem_words: 1 << 12, ..MtaConfig::tera(1) }, program)
-            .expect("machine");
+        let mut m = Machine::new(
+            MtaConfig {
+                mem_words: 1 << 12,
+                ..MtaConfig::tera(1)
+            },
+            program,
+        )
+        .expect("machine");
         m.spawn(0, arg).unwrap();
         let r = m.run(10_000_000);
         assert!(r.completed, "{r:?}");

@@ -71,7 +71,11 @@ fn main() {
     }
     if let Some((a, b)) = dump {
         for addr in a..b {
-            println!("mem[{addr}] = {} (f64 {:e})", m.memory().load(addr), m.memory().load_f64(addr));
+            println!(
+                "mem[{addr}] = {} (f64 {:e})",
+                m.memory().load(addr),
+                m.memory().load_f64(addr)
+            );
         }
     }
     if !r.completed && !r.deadlocked {

@@ -71,7 +71,9 @@ pub fn run_reference(
 
     while executed < fuel {
         let Some(&instr) = program.code.get(pc) else {
-            return RefOutcome::Fault { msg: format!("pc {pc} out of range") };
+            return RefOutcome::Fault {
+                msg: format!("pc {pc} out of range"),
+            };
         };
         executed += 1;
         let mut next = pc + 1;
@@ -93,13 +95,18 @@ pub fn run_reference(
             Instr::Div { rd, ra, rb } => {
                 let b = get(&regs, rb) as i64;
                 if b == 0 {
-                    return RefOutcome::Fault { msg: "divide by zero".into() };
+                    return RefOutcome::Fault {
+                        msg: "divide by zero".into(),
+                    };
                 }
                 set!(rd, (get(&regs, ra) as i64).wrapping_div(b) as u64)
             }
             Instr::Addi { rd, ra, imm } => set!(rd, get(&regs, ra).wrapping_add(imm as u64)),
             Instr::Slt { rd, ra, rb } => {
-                set!(rd, ((get(&regs, ra) as i64) < (get(&regs, rb) as i64)) as u64)
+                set!(
+                    rd,
+                    ((get(&regs, ra) as i64) < (get(&regs, rb) as i64)) as u64
+                )
             }
             Instr::FAdd { rd, ra, rb } => setf!(rd, getf(&regs, ra) + getf(&regs, rb)),
             Instr::FSub { rd, ra, rb } => setf!(rd, getf(&regs, ra) - getf(&regs, rb)),
@@ -165,7 +172,12 @@ pub fn run_reference(
                 Ok(a) => memory.put(a, get(&regs, rs)),
                 Err(msg) => return RefOutcome::Fault { msg },
             },
-            Instr::FetchAdd { rd, base, offset, rs } => match addr_of(&regs, base, offset) {
+            Instr::FetchAdd {
+                rd,
+                base,
+                offset,
+                rs,
+            } => match addr_of(&regs, base, offset) {
                 Ok(a) => match memory.try_fetch_add(a, get(&regs, rs)) {
                     Some(old) => set!(rd, old),
                     None => return RefOutcome::Blocked { at: pc },

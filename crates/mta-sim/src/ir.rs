@@ -92,7 +92,12 @@ pub enum Instr {
     Put { rs: Reg, base: Reg, offset: i64 },
     /// Atomic fetch-and-add on a **full** word: `rd = mem[addr]`,
     /// `mem[addr] += rs`; waits if the word is empty.
-    FetchAdd { rd: Reg, base: Reg, offset: i64, rs: Reg },
+    FetchAdd {
+        rd: Reg,
+        base: Reg,
+        offset: i64,
+        rs: Reg,
+    },
 
     // ── threads ──────────────────────────────────────────────────────────
     /// Create a new stream starting at `entry` with its `r1` set to this
@@ -149,9 +154,9 @@ impl Instr {
             | Instr::Blt { ra, rb, .. }
             | Instr::Bge { ra, rb, .. } => [s(ra), s(rb), None],
             Instr::Addi { ra, .. } => [s(ra), None, None],
-            Instr::Load { base, .. } | Instr::LoadSync { base, .. } | Instr::ReadFF { base, .. } => {
-                [s(base), None, None]
-            }
+            Instr::Load { base, .. }
+            | Instr::LoadSync { base, .. }
+            | Instr::ReadFF { base, .. } => [s(base), None, None],
             Instr::Store { rs, base, .. }
             | Instr::StoreSync { rs, base, .. }
             | Instr::Put { rs, base, .. } => [s(rs), s(base), None],
@@ -251,9 +256,10 @@ impl Program {
         };
         for (i, instr) in self.code.iter().enumerate() {
             match *instr {
-                Instr::Li { rd, .. } | Instr::IToF { rd, .. } | Instr::FToI { rd, .. } | Instr::Mov { rd, .. } => {
-                    check_rd(rd, i)?
-                }
+                Instr::Li { rd, .. }
+                | Instr::IToF { rd, .. }
+                | Instr::FToI { rd, .. }
+                | Instr::Mov { rd, .. } => check_rd(rd, i)?,
                 Instr::Add { rd, ra, rb }
                 | Instr::Sub { rd, ra, rb }
                 | Instr::Mul { rd, ra, rb }
@@ -283,11 +289,15 @@ impl Program {
                     check_reg(rb, "source", i)?;
                     check_target(target, i)?;
                 }
-                Instr::Load { rd, base, .. } | Instr::LoadSync { rd, base, .. } | Instr::ReadFF { rd, base, .. } => {
+                Instr::Load { rd, base, .. }
+                | Instr::LoadSync { rd, base, .. }
+                | Instr::ReadFF { rd, base, .. } => {
                     check_rd(rd, i)?;
                     check_reg(base, "base", i)?;
                 }
-                Instr::Store { rs, base, .. } | Instr::StoreSync { rs, base, .. } | Instr::Put { rs, base, .. } => {
+                Instr::Store { rs, base, .. }
+                | Instr::StoreSync { rs, base, .. }
+                | Instr::Put { rs, base, .. } => {
                     check_reg(rs, "source", i)?;
                     check_reg(base, "base", i)?;
                 }
@@ -313,27 +323,76 @@ mod tests {
 
     #[test]
     fn memory_classification() {
-        assert!(Instr::Load { rd: 1, base: 2, offset: 0 }.is_memory());
-        assert!(Instr::StoreSync { rs: 1, base: 2, offset: 0 }.is_memory());
-        assert!(Instr::FetchAdd { rd: 1, base: 2, offset: 0, rs: 3 }.is_memory());
-        assert!(!Instr::Add { rd: 1, ra: 2, rb: 3 }.is_memory());
+        assert!(Instr::Load {
+            rd: 1,
+            base: 2,
+            offset: 0
+        }
+        .is_memory());
+        assert!(Instr::StoreSync {
+            rs: 1,
+            base: 2,
+            offset: 0
+        }
+        .is_memory());
+        assert!(Instr::FetchAdd {
+            rd: 1,
+            base: 2,
+            offset: 0,
+            rs: 3
+        }
+        .is_memory());
+        assert!(!Instr::Add {
+            rd: 1,
+            ra: 2,
+            rb: 3
+        }
+        .is_memory());
         assert!(!Instr::Halt.is_memory());
     }
 
     #[test]
     fn sync_classification() {
-        assert!(Instr::LoadSync { rd: 1, base: 2, offset: 0 }.is_sync());
-        assert!(Instr::ReadFF { rd: 1, base: 2, offset: 0 }.is_sync());
-        assert!(!Instr::Load { rd: 1, base: 2, offset: 0 }.is_sync());
-        assert!(!Instr::Put { rs: 1, base: 2, offset: 0 }.is_sync());
+        assert!(Instr::LoadSync {
+            rd: 1,
+            base: 2,
+            offset: 0
+        }
+        .is_sync());
+        assert!(Instr::ReadFF {
+            rd: 1,
+            base: 2,
+            offset: 0
+        }
+        .is_sync());
+        assert!(!Instr::Load {
+            rd: 1,
+            base: 2,
+            offset: 0
+        }
+        .is_sync());
+        assert!(!Instr::Put {
+            rs: 1,
+            base: 2,
+            offset: 0
+        }
+        .is_sync());
     }
 
     #[test]
     fn validate_accepts_a_correct_program() {
         let p = Program::new(vec![
             Instr::Li { rd: 1, imm: 5 },
-            Instr::Add { rd: 2, ra: 1, rb: 1 },
-            Instr::Bne { ra: 2, rb: 0, target: 3 },
+            Instr::Add {
+                rd: 2,
+                ra: 1,
+                rb: 1,
+            },
+            Instr::Bne {
+                ra: 2,
+                rb: 0,
+                target: 3,
+            },
             Instr::Halt,
         ]);
         assert!(p.validate().is_ok());
@@ -347,7 +406,14 @@ mod tests {
 
     #[test]
     fn validate_rejects_out_of_range_register() {
-        let p = Program::new(vec![Instr::Add { rd: 40, ra: 1, rb: 2 }, Instr::Halt]);
+        let p = Program::new(vec![
+            Instr::Add {
+                rd: 40,
+                ra: 1,
+                rb: 2,
+            },
+            Instr::Halt,
+        ]);
         assert!(p.validate().unwrap_err().contains("out of range"));
     }
 

@@ -119,7 +119,12 @@ pub struct VectorAddLayout {
 /// `c[i] = a[i] + b[i]` (f64), statically chunked over `n_workers` streams
 /// by the paper's `(chunk*n)/num_chunks` blocking.
 pub fn vector_add_kernel(n: usize, n_workers: usize) -> (Program, VectorAddLayout) {
-    let layout = VectorAddLayout { a_base: 1024, b_base: 1024 + n, c_base: 1024 + 2 * n, n };
+    let layout = VectorAddLayout {
+        a_base: 1024,
+        b_base: 1024 + n,
+        c_base: 1024 + 2 * n,
+        n,
+    };
     let mut a = Assembler::new();
     fanout(&mut a, n_workers as i64, "work");
     a.label("work");
@@ -147,7 +152,10 @@ pub fn vector_add_kernel(n: usize, n_workers: usize) -> (Program, VectorAddLayou
     a.jmp_l("loop");
     a.label("done");
     a.halt();
-    (a.assemble().expect("vector_add_kernel must assemble"), layout)
+    (
+        a.assemble().expect("vector_add_kernel must assemble"),
+        layout,
+    )
 }
 
 /// Memory layout of [`reduce_kernel`].
@@ -168,7 +176,12 @@ pub struct ReduceLayout {
 /// another `fetch_add` — the MTA idiom the fine-grained Threat Analysis
 /// variant uses for `num_intervals`.
 pub fn reduce_kernel(n: usize, n_workers: usize) -> (Program, ReduceLayout) {
-    let layout = ReduceLayout { data_base: 4096, claim_addr: 512, sum_addr: 513, n };
+    let layout = ReduceLayout {
+        data_base: 4096,
+        claim_addr: 512,
+        sum_addr: 513,
+        n,
+    };
     let mut a = Assembler::new();
     fanout(&mut a, n_workers as i64, "work");
     a.label("work");
@@ -210,7 +223,12 @@ pub struct PipelineLayout {
 /// before the run.
 pub fn pipeline_kernel(stages: usize, items: i64) -> (Program, PipelineLayout) {
     assert!(stages >= 1 && items >= 1);
-    let layout = PipelineLayout { chan_base: 256, sink_addr: 255, stages, items };
+    let layout = PipelineLayout {
+        chan_base: 256,
+        sink_addr: 255,
+        stages,
+        items,
+    };
     let mut a = Assembler::new();
     a.li(2, 0);
     a.li(3, stages as i64);
@@ -290,8 +308,12 @@ pub fn chunked_scan_kernel(
     steps: i64,
     n_chunks: usize,
 ) -> (Program, ChunkedScanLayout) {
-    let layout =
-        ChunkedScanLayout { windows_base: 8192, count_addr: 600, n_pairs, steps };
+    let layout = ChunkedScanLayout {
+        windows_base: 8192,
+        count_addr: 600,
+        n_pairs,
+        steps,
+    };
     let mut a = Assembler::new();
     fanout(&mut a, n_chunks as i64, "work");
     a.label("work");
@@ -329,7 +351,10 @@ pub fn chunked_scan_kernel(
     a.jmp_l("pair");
     a.label("done");
     a.halt();
-    (a.assemble().expect("chunked_scan_kernel must assemble"), layout)
+    (
+        a.assemble().expect("chunked_scan_kernel must assemble"),
+        layout,
+    )
 }
 
 /// Memory layout of [`ray_sweep_kernel`].
@@ -393,7 +418,10 @@ pub fn ray_sweep_kernel(n_rays: usize, len: usize, n_workers: usize) -> (Program
     a.jmp_l("claim");
     a.label("done");
     a.halt();
-    (a.assemble().expect("ray_sweep_kernel must assemble"), layout)
+    (
+        a.assemble().expect("ray_sweep_kernel must assemble"),
+        layout,
+    )
 }
 
 /// Run `program` on a fresh machine, marking `empties` empty first.
@@ -423,12 +451,37 @@ pub fn measure_utilization(cfg: MtaConfig, n_workers: usize, iters: i64, alu_per
     r.utilization()
 }
 
+/// [`measure_utilization`] for each stream count in `streams`, simulated
+/// across `n_threads` host workers.
+///
+/// Each sweep point is an independent simulation on its own fresh
+/// [`Machine`], so the points run concurrently with dynamic
+/// self-scheduling (cycle counts grow with the stream count, making the
+/// work irregular — the paper's own argument for self-scheduled loops).
+/// Results are in `streams` order and identical to calling
+/// [`measure_utilization`] sequentially: the simulator is deterministic
+/// and shares no state between points.
+pub fn measure_utilization_sweep(
+    cfg: &MtaConfig,
+    streams: &[usize],
+    iters: i64,
+    alu_per_iter: i64,
+    n_threads: usize,
+) -> Vec<f64> {
+    sthreads::par_map(streams.len(), n_threads, sthreads::Schedule::Dynamic, |i| {
+        measure_utilization(cfg.clone(), streams[i], iters, alu_per_iter)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn cfg1() -> MtaConfig {
-        MtaConfig { mem_words: 1 << 20, ..MtaConfig::tera(1) }
+        MtaConfig {
+            mem_words: 1 << 20,
+            ..MtaConfig::tera(1)
+        }
     }
 
     #[test]
@@ -444,7 +497,11 @@ mod tests {
         let r = m.run(100_000_000);
         assert!(r.completed, "{r:?}");
         for i in 0..n {
-            assert_eq!(m.memory().load_f64(layout.c_base + i), 3.0 * i as f64, "c[{i}]");
+            assert_eq!(
+                m.memory().load_f64(layout.c_base + i),
+                3.0 * i as f64,
+                "c[{i}]"
+            );
         }
     }
 
@@ -471,7 +528,8 @@ mod tests {
         let (program, layout) = reduce_kernel(n, 16);
         let mut m = Machine::new(cfg1(), program).unwrap();
         for i in 0..n {
-            m.memory_mut().store(layout.data_base + i, (i * i % 97) as u64);
+            m.memory_mut()
+                .store(layout.data_base + i, (i * i % 97) as u64);
         }
         m.spawn(0, 0).unwrap();
         let r = m.run(200_000_000);
@@ -514,14 +572,33 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_matches_sequential_measurements() {
+        let streams = [1usize, 8, 32];
+        let sequential: Vec<f64> = streams
+            .iter()
+            .map(|&s| measure_utilization(cfg1(), s, 300, 6))
+            .collect();
+        for n_threads in [1usize, 4] {
+            let swept = measure_utilization_sweep(&cfg1(), &streams, 300, 6, n_threads);
+            assert_eq!(swept, sequential, "n_threads={n_threads}");
+        }
+    }
+
+    #[test]
     fn memory_heavy_mixes_need_around_eighty_streams() {
         // §7: "80 concurrent threads are typically required to obtain full
         // utilization of a single Tera MTA processor." For a 50%-memory
         // mix, 32 streams must not be enough and ~80 must come close.
         let u32 = measure_utilization(cfg1(), 32, 400, 1);
         let u80 = measure_utilization(cfg1(), 80, 400, 1);
-        assert!(u32 < 0.90, "32 streams must NOT saturate a memory mix: {u32}");
-        assert!(u80 > 0.80, "≈80 streams must get close to saturation: {u80}");
+        assert!(
+            u32 < 0.90,
+            "32 streams must NOT saturate a memory mix: {u32}"
+        );
+        assert!(
+            u80 > 0.80,
+            "≈80 streams must get close to saturation: {u80}"
+        );
     }
 
     #[test]
@@ -529,7 +606,10 @@ mod tests {
         // stride 64 (= n_banks) hammers one bank; stride 1 spreads. Same
         // instruction counts, very different cycle counts. (Large memory:
         // the strided footprint is 64×200×6×64 words ≈ 5 M.)
-        let big = || MtaConfig { mem_words: 1 << 23, ..MtaConfig::tera(1) };
+        let big = || MtaConfig {
+            mem_words: 1 << 23,
+            ..MtaConfig::tera(1)
+        };
         let (_, cold) = run_kernel(big(), mem_kernel(64, 200, 1, 4096), &[]);
         let (_, hot) = run_kernel(big(), mem_kernel(64, 200, 64, 4096), &[]);
         assert_eq!(cold.stats.instructions(), hot.stats.instructions());
@@ -545,7 +625,10 @@ mod tests {
     #[test]
     fn two_processors_speed_up_a_wide_alu_kernel() {
         let wide = |procs: usize| {
-            let cfg = MtaConfig { mem_words: 1 << 20, ..MtaConfig::tera(procs) };
+            let cfg = MtaConfig {
+                mem_words: 1 << 20,
+                ..MtaConfig::tera(procs)
+            };
             let (_, r) = run_kernel(cfg, alu_kernel(128, 300), &[]);
             r.cycles
         };
@@ -563,7 +646,10 @@ mod tests {
         // 4 streams cannot even fill one processor; a second processor
         // helps little. (The germ of the paper's Table 11 observation.)
         let narrow = |procs: usize| {
-            let cfg = MtaConfig { mem_words: 1 << 20, ..MtaConfig::tera(procs) };
+            let cfg = MtaConfig {
+                mem_words: 1 << 20,
+                ..MtaConfig::tera(procs)
+            };
             let (_, r) = run_kernel(cfg, alu_kernel(4, 2000), &[]);
             r.cycles
         };
@@ -577,8 +663,14 @@ mod tests {
     fn chunked_scan_counts_nonempty_windows() {
         let n_pairs = 60;
         let (program, layout) = chunked_scan_kernel(n_pairs, 20, 16);
-        let mut m =
-            Machine::new(MtaConfig { mem_words: 1 << 16, ..MtaConfig::tera(1) }, program).unwrap();
+        let mut m = Machine::new(
+            MtaConfig {
+                mem_words: 1 << 16,
+                ..MtaConfig::tera(1)
+            },
+            program,
+        )
+        .unwrap();
         // Pairs with even index get a non-empty window.
         let mut expected = 0u64;
         for p in 0..n_pairs {
@@ -603,7 +695,10 @@ mod tests {
         let run = |chunks: usize| {
             let (program, layout) = chunked_scan_kernel(192, 30, chunks);
             let mut m = Machine::new(
-                MtaConfig { mem_words: 1 << 16, ..MtaConfig::tera(2) },
+                MtaConfig {
+                    mem_words: 1 << 16,
+                    ..MtaConfig::tera(2)
+                },
                 program,
             )
             .unwrap();
@@ -635,14 +730,18 @@ mod tests {
         let (n_rays, len) = (12usize, 30usize);
         let (program, layout) = ray_sweep_kernel(n_rays, len, 8);
         let mut m = Machine::new(
-            MtaConfig { mem_words: 1 << 16, ..MtaConfig::tera(1) },
+            MtaConfig {
+                mem_words: 1 << 16,
+                ..MtaConfig::tera(1)
+            },
             program,
         )
         .unwrap();
         let slope = |r: usize, k: usize| ((r * 31 + k * 17) % 100) as f64 - 50.0;
         for r in 0..n_rays {
             for k in 0..len {
-                m.memory_mut().store_f64(layout.slopes_base + r * len + k, slope(r, k));
+                m.memory_mut()
+                    .store_f64(layout.slopes_base + r * len + k, slope(r, k));
             }
         }
         m.spawn(0, 0).unwrap();
@@ -667,12 +766,16 @@ mod tests {
             let workers = (2 * n_rays).min(256);
             let (program, layout) = ray_sweep_kernel(n_rays, 40, workers);
             let mut m = Machine::new(
-                MtaConfig { mem_words: 1 << 18, ..MtaConfig::tera(procs) },
+                MtaConfig {
+                    mem_words: 1 << 18,
+                    ..MtaConfig::tera(procs)
+                },
                 program,
             )
             .unwrap();
             for i in 0..n_rays * 40 {
-                m.memory_mut().store_f64(layout.slopes_base + i, (i % 7) as f64);
+                m.memory_mut()
+                    .store_f64(layout.slopes_base + i, (i % 7) as f64);
             }
             m.spawn(0, 0).unwrap();
             let r = m.run(2_000_000_000);

@@ -210,8 +210,9 @@ impl Machine {
     pub fn new(config: MtaConfig, program: Program) -> Result<Self, String> {
         program.validate()?;
         let memory = Memory::new(config.mem_words, config.n_banks, config.bank_service);
-        let processors =
-            (0..config.n_processors).map(|_| Processor::new(config.streams_per_processor)).collect();
+        let processors = (0..config.n_processors)
+            .map(|_| Processor::new(config.streams_per_processor))
+            .collect();
         Ok(Self {
             config,
             program,
@@ -479,7 +480,10 @@ impl Machine {
                 alu!(rd, a.wrapping_div(b) as u64)
             }
             Instr::Addi { rd, ra, imm } => {
-                let v = self.processors[p].stream(slot).reg(ra).wrapping_add(imm as u64);
+                let v = self.processors[p]
+                    .stream(slot)
+                    .reg(ra)
+                    .wrapping_add(imm as u64);
                 alu!(rd, v)
             }
             Instr::Slt { rd, ra, rb } => {
@@ -583,7 +587,10 @@ impl Machine {
                     self.memory.store(addr, v);
                     let completion = self.mem_ready_at(addr);
                     if self.config.lookahead > 1 {
-                        self.processors[p].stream_mut(slot).outstanding.push(completion);
+                        self.processors[p]
+                            .stream_mut(slot)
+                            .outstanding
+                            .push(completion);
                     } else {
                         ready_at = completion;
                     }
@@ -603,7 +610,11 @@ impl Machine {
                         }
                         None => {
                             self.sync_blocks += 1;
-                            self.waiters.entry(addr).or_default().on_full.push_back((p, slot));
+                            self.waiters
+                                .entry(addr)
+                                .or_default()
+                                .on_full
+                                .push_back((p, slot));
                             parked = true;
                         }
                     }
@@ -621,7 +632,11 @@ impl Machine {
                         self.wake_on_full(addr);
                     } else {
                         self.sync_blocks += 1;
-                        self.waiters.entry(addr).or_default().on_empty.push_back((p, slot));
+                        self.waiters
+                            .entry(addr)
+                            .or_default()
+                            .on_empty
+                            .push_back((p, slot));
                         parked = true;
                     }
                 }
@@ -637,7 +652,11 @@ impl Machine {
                         Some(v) => self.processors[p].stream_mut(slot).set_reg(rd, v),
                         None => {
                             self.sync_blocks += 1;
-                            self.waiters.entry(addr).or_default().on_full.push_back((p, slot));
+                            self.waiters
+                                .entry(addr)
+                                .or_default()
+                                .on_full
+                                .push_back((p, slot));
                             parked = true;
                         }
                     }
@@ -659,7 +678,12 @@ impl Machine {
                     return;
                 }
             },
-            Instr::FetchAdd { rd, base, offset, rs } => match addr_of(self, base, offset) {
+            Instr::FetchAdd {
+                rd,
+                base,
+                offset,
+                rs,
+            } => match addr_of(self, base, offset) {
                 Ok(addr) => {
                     ready_at = self.mem_ready_at(addr);
                     let delta = self.processors[p].stream(slot).reg(rs);
@@ -667,7 +691,11 @@ impl Machine {
                         Some(old) => self.processors[p].stream_mut(slot).set_reg(rd, old),
                         None => {
                             self.sync_blocks += 1;
-                            self.waiters.entry(addr).or_default().on_full.push_back((p, slot));
+                            self.waiters
+                                .entry(addr)
+                                .or_default()
+                                .on_full
+                                .push_back((p, slot));
                             parked = true;
                         }
                     }
@@ -725,8 +753,14 @@ mod tests {
         let mut a = Assembler::new();
         f(&mut a);
         let program = a.assemble().expect("assembly failed");
-        let mut m = Machine::new(MtaConfig { mem_words: 1 << 16, ..MtaConfig::tera(procs) }, program)
-            .expect("bad machine");
+        let mut m = Machine::new(
+            MtaConfig {
+                mem_words: 1 << 16,
+                ..MtaConfig::tera(procs)
+            },
+            program,
+        )
+        .expect("bad machine");
         m.spawn(0, 0).unwrap();
         let r = m.run(50_000_000);
         (m, r)
@@ -816,7 +850,10 @@ mod tests {
         );
         assert!(r.completed);
         let cpi = r.cycles as f64 / r.stats.instructions() as f64;
-        assert!(cpi > 25.0, "memory ops must stretch CPI past the pipeline depth: {cpi}");
+        assert!(
+            cpi > 25.0,
+            "memory ops must stretch CPI past the pipeline depth: {cpi}"
+        );
     }
 
     #[test]
@@ -879,14 +916,23 @@ mod tests {
         a.store(4, 6, 0);
         a.halt();
         let program = a.assemble().unwrap();
-        let mut m =
-            Machine::new(MtaConfig { mem_words: 1 << 12, ..MtaConfig::tera(1) }, program).unwrap();
+        let mut m = Machine::new(
+            MtaConfig {
+                mem_words: 1 << 12,
+                ..MtaConfig::tera(1)
+            },
+            program,
+        )
+        .unwrap();
         m.memory_mut().set_empty(1000);
         m.spawn(0, 0).unwrap();
         let r = m.run(10_000_000);
         assert!(r.completed, "run did not complete: {r:?}");
         assert_eq!(m.memory().load(1001), 1 + 2 + 3 + 4 + 5);
-        assert!(r.stats.sync_blocks > 0, "the rendezvous must actually block");
+        assert!(
+            r.stats.sync_blocks > 0,
+            "the rendezvous must actually block"
+        );
         assert!(r.stats.wakes > 0);
     }
 
@@ -910,8 +956,14 @@ mod tests {
         a.store(4, 6, 0); // mark ticket claimed
         a.halt();
         let program = a.assemble().unwrap();
-        let mut m =
-            Machine::new(MtaConfig { mem_words: 1 << 12, ..MtaConfig::tera(2) }, program).unwrap();
+        let mut m = Machine::new(
+            MtaConfig {
+                mem_words: 1 << 12,
+                ..MtaConfig::tera(2)
+            },
+            program,
+        )
+        .unwrap();
         m.spawn(0, 0).unwrap();
         let r = m.run(10_000_000);
         assert!(r.completed);
@@ -929,8 +981,14 @@ mod tests {
         a.load_sync(3, 2, 0);
         a.halt();
         let program = a.assemble().unwrap();
-        let mut m =
-            Machine::new(MtaConfig { mem_words: 1 << 12, ..MtaConfig::tera(1) }, program).unwrap();
+        let mut m = Machine::new(
+            MtaConfig {
+                mem_words: 1 << 12,
+                ..MtaConfig::tera(1)
+            },
+            program,
+        )
+        .unwrap();
         m.memory_mut().set_empty(100);
         m.spawn(0, 0).unwrap();
         let r = m.run(1_000_000);
@@ -998,7 +1056,11 @@ mod tests {
         let r = m.run(10_000_000);
         assert!(r.completed, "{r:?}");
         assert!(r.stats.soft_spawns > 0, "some workers must have queued");
-        assert_eq!(m.memory().load(3000), 10, "all 10 workers must eventually run");
+        assert_eq!(
+            m.memory().load(3000),
+            10,
+            "all 10 workers must eventually run"
+        );
     }
 
     #[test]
@@ -1017,13 +1079,23 @@ mod tests {
         a.bne_l(1, 0, "loop");
         a.halt();
         let program = a.assemble().unwrap();
-        let mut m =
-            Machine::new(MtaConfig { mem_words: 1 << 12, ..MtaConfig::tera(2) }, program).unwrap();
+        let mut m = Machine::new(
+            MtaConfig {
+                mem_words: 1 << 12,
+                ..MtaConfig::tera(2)
+            },
+            program,
+        )
+        .unwrap();
         m.spawn(0, 0).unwrap();
         let r = m.run(10_000_000);
         assert!(r.completed);
         assert!(r.stats.peak_live_per_processor[0] > 1);
-        assert!(r.stats.peak_live_per_processor[1] > 1, "{:?}", r.stats.peak_live_per_processor);
+        assert!(
+            r.stats.peak_live_per_processor[1] > 1,
+            "{:?}",
+            r.stats.peak_live_per_processor
+        );
     }
 
     #[test]
@@ -1049,8 +1121,14 @@ mod tests {
             a.assemble().unwrap()
         };
         let run = || {
-            let mut m =
-                Machine::new(MtaConfig { mem_words: 1 << 13, ..MtaConfig::tera(2) }, build()).unwrap();
+            let mut m = Machine::new(
+                MtaConfig {
+                    mem_words: 1 << 13,
+                    ..MtaConfig::tera(2)
+                },
+                build(),
+            )
+            .unwrap();
             m.spawn(0, 0).unwrap();
             m.run(10_000_000)
         };
@@ -1099,7 +1177,11 @@ mod tests {
             a.assemble().unwrap()
         };
         let run = |lookahead: u64| {
-            let cfg = MtaConfig { mem_words: 1 << 16, lookahead, ..MtaConfig::tera(1) };
+            let cfg = MtaConfig {
+                mem_words: 1 << 16,
+                lookahead,
+                ..MtaConfig::tera(1)
+            };
             let mut m = Machine::new(cfg, build()).unwrap();
             m.spawn(0, 0).unwrap();
             let r = m.run(50_000_000);
@@ -1132,7 +1214,11 @@ mod tests {
             a.assemble().unwrap()
         };
         let run = |lookahead: u64| {
-            let cfg = MtaConfig { mem_words: 1 << 16, lookahead, ..MtaConfig::tera(1) };
+            let cfg = MtaConfig {
+                mem_words: 1 << 16,
+                lookahead,
+                ..MtaConfig::tera(1)
+            };
             let mut m = Machine::new(cfg, build()).unwrap();
             // Make the chase walk in place: mem[1000] = 1000.
             m.memory_mut().store(1000, 1000);
@@ -1169,7 +1255,11 @@ mod tests {
             a.assemble().unwrap()
         };
         let run = |lookahead: u64| {
-            let cfg = MtaConfig { mem_words: 1 << 16, lookahead, ..MtaConfig::tera(1) };
+            let cfg = MtaConfig {
+                mem_words: 1 << 16,
+                lookahead,
+                ..MtaConfig::tera(1)
+            };
             let mut m = Machine::new(cfg, build()).unwrap();
             m.spawn(0, 0).unwrap();
             let r = m.run(10_000_000);
@@ -1178,7 +1268,10 @@ mod tests {
         };
         let la2 = run(2);
         let la8 = run(8);
-        assert!(la2 > la8, "narrow lookahead must stall more: la2={la2} la8={la8}");
+        assert!(
+            la2 > la8,
+            "narrow lookahead must stall more: la2={la2} la8={la8}"
+        );
     }
 
     #[test]
@@ -1202,7 +1295,11 @@ mod tests {
             a.assemble().unwrap()
         };
         let run = |lookahead: u64| {
-            let cfg = MtaConfig { mem_words: 1 << 16, lookahead, ..MtaConfig::tera(1) };
+            let cfg = MtaConfig {
+                mem_words: 1 << 16,
+                lookahead,
+                ..MtaConfig::tera(1)
+            };
             let mut m = Machine::new(cfg, build()).unwrap();
             m.memory_mut().store(1000, 3);
             m.spawn(0, 0).unwrap();

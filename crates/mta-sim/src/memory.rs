@@ -80,7 +80,10 @@ impl Memory {
         if addr < self.data.len() {
             Ok(())
         } else {
-            Err(format!("address {addr} out of range (memory has {} words)", self.data.len()))
+            Err(format!(
+                "address {addr} out of range (memory has {} words)",
+                self.data.len()
+            ))
         }
     }
 
@@ -211,8 +214,20 @@ mod tests {
         let mut m = Memory::new(256, 64, 4);
         let t1 = m.schedule_access(0, 100);
         let t2 = m.schedule_access(64, 100); // same bank (0)
-        assert_eq!(t1, BankTiming { start: 100, done: 104 });
-        assert_eq!(t2, BankTiming { start: 104, done: 108 });
+        assert_eq!(
+            t1,
+            BankTiming {
+                start: 100,
+                done: 104
+            }
+        );
+        assert_eq!(
+            t2,
+            BankTiming {
+                start: 104,
+                done: 108
+            }
+        );
         assert_eq!(m.stats().bank_queue_cycles, 4);
     }
 

@@ -33,7 +33,12 @@ impl Stream {
     pub fn new(pc: usize, arg: u64) -> Self {
         let mut regs = [0u64; NUM_REGS];
         regs[1] = arg;
-        Self { regs, pc, reg_ready_at: [0; NUM_REGS], outstanding: Vec::new() }
+        Self {
+            regs,
+            pc,
+            reg_ready_at: [0; NUM_REGS],
+            outstanding: Vec::new(),
+        }
     }
 
     /// Drop completed in-flight operations.

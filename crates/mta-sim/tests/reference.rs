@@ -21,33 +21,46 @@ fn arb_instr(len: usize, at: usize) -> impl Strategy<Value = Instr> {
     prop_oneof![
         (reg.clone(), -100i64..100).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
         (reg.clone(), src.clone()).prop_map(|(rd, rs)| Instr::Mov { rd, rs }),
-        (reg.clone(), src.clone(), src.clone())
-            .prop_map(|(rd, ra, rb)| Instr::Add { rd, ra, rb }),
-        (reg.clone(), src.clone(), src.clone())
-            .prop_map(|(rd, ra, rb)| Instr::Sub { rd, ra, rb }),
-        (reg.clone(), src.clone(), src.clone())
-            .prop_map(|(rd, ra, rb)| Instr::Mul { rd, ra, rb }),
-        (reg.clone(), src.clone(), src.clone())
-            .prop_map(|(rd, ra, rb)| Instr::Slt { rd, ra, rb }),
-        (reg.clone(), src.clone(), -50i64..50)
-            .prop_map(|(rd, ra, imm)| Instr::Addi { rd, ra, imm }),
-        (reg.clone(), src.clone(), src.clone())
-            .prop_map(|(rd, ra, rb)| Instr::FAdd { rd, ra, rb }),
-        (reg.clone(), src.clone(), src.clone())
-            .prop_map(|(rd, ra, rb)| Instr::FMax { rd, ra, rb }),
+        (reg.clone(), src.clone(), src.clone()).prop_map(|(rd, ra, rb)| Instr::Add { rd, ra, rb }),
+        (reg.clone(), src.clone(), src.clone()).prop_map(|(rd, ra, rb)| Instr::Sub { rd, ra, rb }),
+        (reg.clone(), src.clone(), src.clone()).prop_map(|(rd, ra, rb)| Instr::Mul { rd, ra, rb }),
+        (reg.clone(), src.clone(), src.clone()).prop_map(|(rd, ra, rb)| Instr::Slt { rd, ra, rb }),
+        (reg.clone(), src.clone(), -50i64..50).prop_map(|(rd, ra, imm)| Instr::Addi {
+            rd,
+            ra,
+            imm
+        }),
+        (reg.clone(), src.clone(), src.clone()).prop_map(|(rd, ra, rb)| Instr::FAdd { rd, ra, rb }),
+        (reg.clone(), src.clone(), src.clone()).prop_map(|(rd, ra, rb)| Instr::FMax { rd, ra, rb }),
         (reg.clone(), src.clone()).prop_map(|(rd, rs)| Instr::IToF { rd, rs }),
         // Memory at literal addresses via r0 base (always in range).
-        (reg.clone(), addr_imm.clone())
-            .prop_map(|(rd, offset)| Instr::Load { rd, base: 0, offset }),
-        (src.clone(), addr_imm.clone())
-            .prop_map(|(rs, offset)| Instr::Store { rs, base: 0, offset }),
-        (src.clone(), addr_imm.clone())
-            .prop_map(|(rs, offset)| Instr::Put { rs, base: 0, offset }),
-        (reg.clone(), addr_imm.clone(), src.clone())
-            .prop_map(|(rd, offset, rs)| Instr::FetchAdd { rd, base: 0, offset, rs }),
+        (reg.clone(), addr_imm.clone()).prop_map(|(rd, offset)| Instr::Load {
+            rd,
+            base: 0,
+            offset
+        }),
+        (src.clone(), addr_imm.clone()).prop_map(|(rs, offset)| Instr::Store {
+            rs,
+            base: 0,
+            offset
+        }),
+        (src.clone(), addr_imm.clone()).prop_map(|(rs, offset)| Instr::Put {
+            rs,
+            base: 0,
+            offset
+        }),
+        (reg.clone(), addr_imm.clone(), src.clone()).prop_map(|(rd, offset, rs)| Instr::FetchAdd {
+            rd,
+            base: 0,
+            offset,
+            rs
+        }),
         // Forward-only branches terminate by construction.
-        (src.clone(), src.clone(), fwd.clone())
-            .prop_map(|(ra, rb, target)| Instr::Beq { ra, rb, target }),
+        (src.clone(), src.clone(), fwd.clone()).prop_map(|(ra, rb, target)| Instr::Beq {
+            ra,
+            rb,
+            target
+        }),
         (src, 0u8..16, fwd).prop_map(|(ra, rb, target)| Instr::Blt { ra, rb, target }),
     ]
 }

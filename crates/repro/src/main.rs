@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the SC'98 paper.
 //!
 //! ```text
-//! repro [--reduced] [--csv DIR] [--out FILE] [SECTION...]
+//! repro [--reduced] [--no-cache] [--timing] [--csv DIR] [--out FILE] [SECTION...]
 //!
 //! SECTIONs: tables (default), figures, utilization, autopar, scalability,
 //!           sensitivity, all
@@ -13,18 +13,30 @@
 //! renditions of Figures 1–4. `--reduced` uses the smaller test workload
 //! (same structure, faster). `--csv DIR` additionally writes one CSV per
 //! table.
+//!
+//! The expensive workload measurement is memoized on disk (see
+//! `eval_core::cache`); `--no-cache` forces a fresh measurement without
+//! reading or writing snapshots. `--timing` times the harness's own
+//! parallelization (1 host thread vs all of them), verifies the outputs
+//! are byte-identical, and writes the report to `BENCH_harness.json`.
 
+use eval_core::cache;
 use eval_core::experiments::{Experiments, Figure};
 use eval_core::workload::{Workload, WorkloadScale};
-use mta_sim::kernels::measure_utilization;
+use mta_sim::kernels::measure_utilization_sweep;
 use mta_sim::MtaConfig;
 use std::io::Write;
+use std::time::Instant;
+use sthreads::{Schedule, ThreadPool};
 
 struct Options {
     scale: WorkloadScale,
     csv_dir: Option<String>,
     json_file: Option<String>,
     out_file: Option<String>,
+    use_cache: bool,
+    timing: bool,
+    n_threads: Option<usize>,
     sections: Vec<String>,
 }
 
@@ -34,6 +46,9 @@ fn parse_args() -> Options {
         csv_dir: None,
         json_file: None,
         out_file: None,
+        use_cache: true,
+        timing: false,
+        n_threads: None,
         sections: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -43,9 +58,19 @@ fn parse_args() -> Options {
             "--csv" => opts.csv_dir = args.next(),
             "--json" => opts.json_file = args.next(),
             "--out" => opts.out_file = args.next(),
+            "--no-cache" => opts.use_cache = false,
+            "--timing" => opts.timing = true,
+            "--threads" => {
+                opts.n_threads =
+                    Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--threads requires a positive integer");
+                        std::process::exit(2);
+                    }))
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--reduced] [--csv DIR] [--json FILE] [--out FILE] \
+                    "usage: repro [--reduced] [--no-cache] [--timing] [--threads N] [--csv DIR] \
+                     [--json FILE] [--out FILE] \
                      [tables|figures|utilization|autopar|scalability|all]..."
                 );
                 std::process::exit(0);
@@ -63,32 +88,139 @@ fn want(opts: &Options, section: &str) -> bool {
     opts.sections.iter().any(|s| s == section || s == "all")
 }
 
-fn utilization_report() -> String {
+/// Stream counts reported by the utilization section.
+const UTIL_STREAMS: [usize; 11] = [1, 2, 4, 8, 16, 32, 48, 64, 80, 100, 128];
+
+fn util_cfg() -> MtaConfig {
+    MtaConfig {
+        mem_words: 1 << 20,
+        ..MtaConfig::tera(1)
+    }
+}
+
+fn utilization_report(n_threads: usize) -> String {
     let mut out = String::new();
     out.push_str("Processor utilization vs hardware streams (mta-sim, 20% memory mix)\n");
     out.push_str("  paper Section 5/7: single stream ~5%; ~80 streams for full utilization\n");
     out.push_str("  streams  measured   model min(1, s/L)\n");
-    let cfg = || MtaConfig { mem_words: 1 << 20, ..MtaConfig::tera(1) };
     // mixed_kernel with alu_per_iter = 3: 5 instructions per iteration,
     // 1 load => L = (4*21 + 70)/5 = 30.8 cycles.
     let l = (4.0 * 21.0 + 70.0) / 5.0;
-    for &s in &[1usize, 2, 4, 8, 16, 32, 48, 64, 80, 100, 128] {
-        let u = measure_utilization(cfg(), s, 400, 3);
+    let measured = measure_utilization_sweep(&util_cfg(), &UTIL_STREAMS, 400, 3, n_threads);
+    for (&s, u) in UTIL_STREAMS.iter().zip(measured) {
         let model = (s as f64 / l).min(1.0);
         out.push_str(&format!("  {s:>7}  {u:>8.3}   {model:>8.3}\n"));
     }
     out
 }
 
+/// One row of the `--timing` report: the same phase run on one host
+/// thread and on all of them, producing identical output.
+#[derive(serde::Serialize)]
+struct PhaseTiming {
+    phase: String,
+    seq_seconds: f64,
+    par_seconds: f64,
+    speedup: f64,
+    identical_output: bool,
+}
+
+#[derive(serde::Serialize)]
+struct TimingReport {
+    scale: String,
+    host_threads: usize,
+    phases: Vec<PhaseTiming>,
+}
+
+/// Time `f` once and return (seconds, result).
+fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let v = f();
+    (start.elapsed().as_secs_f64(), v)
+}
+
+/// Run every parallelized harness phase sequentially and in parallel,
+/// check bit-identity, and write `BENCH_harness.json`.
+fn timing_report(scale: WorkloadScale, n_threads: usize) -> String {
+    let mut phases = Vec::new();
+    let mut record = |phase: &str, seq: f64, par: f64, identical: bool| {
+        phases.push(PhaseTiming {
+            phase: phase.to_string(),
+            seq_seconds: seq,
+            par_seconds: par,
+            speedup: seq / par,
+            identical_output: identical,
+        });
+    };
+
+    let (t_seq, w_seq) = timed(|| Workload::build_with(scale, 1, Schedule::Dynamic));
+    let (t_par, w_par) = timed(|| Workload::build_with(scale, n_threads, Schedule::Dynamic));
+    record("workload measurement", t_seq, t_par, w_seq == w_par);
+
+    let exps = Experiments::new(w_par);
+    let csv = |tables: &[eval_core::Table]| -> String {
+        tables
+            .iter()
+            .map(|t| t.to_csv())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let (t_seq, tab_seq) = timed(|| exps.all_tables_with_threads(1));
+    let (t_par, tab_par) = timed(|| exps.all_tables_with_threads(n_threads));
+    record(
+        "table generation",
+        t_seq,
+        t_par,
+        csv(&tab_seq) == csv(&tab_par),
+    );
+
+    let (t_seq, u_seq) = timed(|| measure_utilization_sweep(&util_cfg(), &UTIL_STREAMS, 400, 3, 1));
+    let (t_par, u_par) =
+        timed(|| measure_utilization_sweep(&util_cfg(), &UTIL_STREAMS, 400, 3, n_threads));
+    record("utilization sweep", t_seq, t_par, u_seq == u_par);
+
+    let report = TimingReport {
+        scale: format!("{scale:?}"),
+        host_threads: n_threads,
+        phases,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize timing report");
+    std::fs::write("BENCH_harness.json", &json).expect("write BENCH_harness.json");
+    eprintln!("wrote BENCH_harness.json");
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Harness self-timing ({:?} scale, {} host threads; outputs verified identical)\n",
+        scale, report.host_threads
+    ));
+    out.push_str("  phase                  1 thread      parallel   speedup  identical\n");
+    for p in &report.phases {
+        out.push_str(&format!(
+            "  {:<20} {:>8.3} s   {:>8.3} s   {:>6.2}x  {}\n",
+            p.phase, p.seq_seconds, p.par_seconds, p.speedup, p.identical_output
+        ));
+    }
+    out
+}
+
 fn main() {
     let opts = parse_args();
+    let n_threads = opts
+        .n_threads
+        .unwrap_or_else(|| ThreadPool::host().n_threads());
     let mut out = String::new();
 
     eprintln!(
-        "measuring workload ({:?} scale) and calibrating models...",
+        "loading workload ({:?} scale) and calibrating models...",
         opts.scale
     );
-    let exps = Experiments::new(Workload::build(opts.scale));
+    let (workload, cal, status) =
+        cache::load_or_measure_in(&cache::cache_dir(), opts.scale, opts.use_cache);
+    eprintln!(
+        "workload: {status:?} (snapshot dir {})",
+        cache::cache_dir().display()
+    );
+    let exps = Experiments { workload, cal };
     out.push_str(&format!(
         "Reproduction of \"An Initial Evaluation of the Tera Multithreaded Architecture\n\
          and Programming System Using the C3I Parallel Benchmark Suite\" (SC'98).\n\
@@ -101,13 +233,13 @@ fn main() {
     ));
 
     if want(&opts, "tables") {
+        let tables = exps.all_tables();
         if let Some(path) = &opts.json_file {
-            let tables = exps.all_tables();
             let json = serde_json::to_string_pretty(&tables).expect("serialize tables");
             std::fs::write(path, json).expect("write json");
             eprintln!("wrote {path}");
         }
-        for t in exps.all_tables() {
+        for t in &tables {
             out.push_str(&t.render());
             out.push('\n');
             if let Some(dir) = &opts.csv_dir {
@@ -151,7 +283,12 @@ fn main() {
     }
 
     if want(&opts, "utilization") {
-        out.push_str(&utilization_report());
+        out.push_str(&utilization_report(n_threads));
+        out.push('\n');
+    }
+
+    if opts.timing {
+        out.push_str(&timing_report(opts.scale, n_threads));
         out.push('\n');
     }
 

@@ -22,7 +22,12 @@ impl Bus {
     /// A bus occupying `per_transaction` cycles per transaction.
     pub fn new(per_transaction: u64) -> Self {
         assert!(per_transaction > 0);
-        Self { per_transaction, busy_until: 0, transactions: 0, queue_cycles: 0 }
+        Self {
+            per_transaction,
+            busy_until: 0,
+            transactions: 0,
+            queue_cycles: 0,
+        }
     }
 
     /// Submit a transaction at `now`; returns its completion time.

@@ -71,7 +71,15 @@ impl Cache {
         let n_lines = config.sets() * config.ways;
         Self {
             config,
-            lines: vec![Line { tag: 0, state: LineState::Shared, lru: 0, valid: false }; n_lines],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    state: LineState::Shared,
+                    lru: 0,
+                    valid: false
+                };
+                n_lines
+            ],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -122,11 +130,21 @@ impl Cache {
         // Miss: install over the LRU way.
         let victim = range
             .clone()
-            .min_by_key(|&i| if self.lines[i].valid { self.lines[i].lru } else { 0 })
+            .min_by_key(|&i| {
+                if self.lines[i].valid {
+                    self.lines[i].lru
+                } else {
+                    0
+                }
+            })
             .expect("non-empty set");
         self.lines[victim] = Line {
             tag,
-            state: if write { LineState::Owned } else { LineState::Shared },
+            state: if write {
+                LineState::Owned
+            } else {
+                LineState::Shared
+            },
             lru: self.tick,
             valid: true,
         };
@@ -176,7 +194,11 @@ mod tests {
 
     fn small() -> Cache {
         // 64 words, 4-word lines, 2-way → 8 sets.
-        Cache::new(CacheConfig { words: 64, line_words: 4, ways: 2 })
+        Cache::new(CacheConfig {
+            words: 64,
+            line_words: 4,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -231,7 +253,11 @@ mod tests {
     fn streaming_hit_rate_is_line_reuse() {
         // Sequential word sweep: 1 miss per line → hit rate = 3/4 with
         // 4-word lines.
-        let mut c = Cache::new(CacheConfig { words: 1024, line_words: 4, ways: 4 });
+        let mut c = Cache::new(CacheConfig {
+            words: 1024,
+            line_words: 4,
+            ways: 4,
+        });
         for a in 0..4000 {
             c.access(a, false);
         }
@@ -241,7 +267,11 @@ mod tests {
 
     #[test]
     fn resident_working_set_hits_after_warmup() {
-        let mut c = Cache::new(CacheConfig { words: 1024, line_words: 4, ways: 4 });
+        let mut c = Cache::new(CacheConfig {
+            words: 1024,
+            line_words: 4,
+            ways: 4,
+        });
         for round in 0..10 {
             for a in 0..512 {
                 let r = c.access(a, false);
@@ -255,7 +285,11 @@ mod tests {
     #[test]
     fn thrashing_working_set_misses() {
         // Working set 4× capacity, LRU → every access misses after warmup.
-        let mut c = Cache::new(CacheConfig { words: 256, line_words: 4, ways: 2 });
+        let mut c = Cache::new(CacheConfig {
+            words: 256,
+            line_words: 4,
+            ways: 2,
+        });
         let mut late_hits = 0;
         for round in 0..4 {
             for a in (0..1024).step_by(4) {
@@ -265,12 +299,19 @@ mod tests {
                 }
             }
         }
-        assert_eq!(late_hits, 0, "LRU must thrash on a cyclic over-capacity sweep");
+        assert_eq!(
+            late_hits, 0,
+            "LRU must thrash on a cyclic over-capacity sweep"
+        );
     }
 
     #[test]
     #[should_panic(expected = "divide into sets")]
     fn bad_geometry_panics() {
-        Cache::new(CacheConfig { words: 100, line_words: 4, ways: 3 });
+        Cache::new(CacheConfig {
+            words: 100,
+            line_words: 4,
+            ways: 3,
+        });
     }
 }

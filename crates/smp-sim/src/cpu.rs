@@ -31,7 +31,12 @@ pub struct Cpu {
 impl Cpu {
     /// A fresh processor with an empty cache at time 0.
     pub fn new(config: &CpuConfig) -> Self {
-        Self { cache: Cache::new(config.cache), now: 0, compute_cycles: 0, mem_stall_cycles: 0 }
+        Self {
+            cache: Cache::new(config.cache),
+            now: 0,
+            compute_cycles: 0,
+            mem_stall_cycles: 0,
+        }
     }
 
     /// Run `cycles` of computation.
@@ -65,7 +70,11 @@ mod tests {
 
     fn cfg() -> CpuConfig {
         CpuConfig {
-            cache: CacheConfig { words: 256, line_words: 4, ways: 2 },
+            cache: CacheConfig {
+                words: 256,
+                line_words: 4,
+                ways: 2,
+            },
             hit_cycles: 1,
             miss_extra_cycles: 20,
         }

@@ -108,8 +108,11 @@ impl SmpMachine {
                         AccessResult::Miss | AccessResult::Upgrade => {
                             let now = self.cpus[p].now;
                             let bus_done = self.bus.transact(now);
-                            let extra =
-                                if r == AccessResult::Miss { cfg.miss_extra_cycles } else { 0 };
+                            let extra = if r == AccessResult::Miss {
+                                cfg.miss_extra_cycles
+                            } else {
+                                0
+                            };
                             self.cpus[p].stall_until(bus_done + extra);
                             if write {
                                 // Invalidate remote copies.
@@ -127,8 +130,14 @@ impl SmpMachine {
 
         SmpResult {
             finish: self.cpus[..traces.len()].iter().map(|c| c.now).collect(),
-            cache_stats: self.cpus[..traces.len()].iter().map(|c| c.cache.stats()).collect(),
-            mem_stalls: self.cpus[..traces.len()].iter().map(|c| c.mem_stall_cycles).collect(),
+            cache_stats: self.cpus[..traces.len()]
+                .iter()
+                .map(|c| c.cache.stats())
+                .collect(),
+            mem_stalls: self.cpus[..traces.len()]
+                .iter()
+                .map(|c| c.mem_stall_cycles)
+                .collect(),
             bus_transactions: self.bus.transactions(),
             bus_queue_cycles: self.bus.queue_cycles(),
             invalidations: self.invalidations,
@@ -146,7 +155,11 @@ mod tests {
         SmpConfig {
             n_cpus,
             cpu: CpuConfig {
-                cache: CacheConfig { words: 4096, line_words: 4, ways: 4 },
+                cache: CacheConfig {
+                    words: 4096,
+                    line_words: 4,
+                    ways: 4,
+                },
                 hit_cycles: 1,
                 miss_extra_cycles: 30,
             },
@@ -184,7 +197,7 @@ mod tests {
         // Near-perfect scaling: makespan ≈ single-cpu time.
         let single = {
             let mut m1 = SmpMachine::new(config(1));
-            m1.run(&traces[..1].to_vec()).makespan()
+            m1.run(&traces[..1]).makespan()
         };
         let ratio = r.makespan() as f64 / single as f64;
         assert!(ratio < 1.1, "compute-bound run must scale: ratio {ratio}");
@@ -257,14 +270,30 @@ mod tests {
         let traces: Vec<Vec<Op>> = (0..2)
             .map(|_| {
                 (0..50)
-                    .flat_map(|_| vec![Op::Compute(5), Op::Mem { addr: 0, write: true }])
+                    .flat_map(|_| {
+                        vec![
+                            Op::Compute(5),
+                            Op::Mem {
+                                addr: 0,
+                                write: true,
+                            },
+                        ]
+                    })
                     .collect()
             })
             .collect();
         let mut m = SmpMachine::new(config(2));
         let r = m.run(&traces);
-        assert!(r.invalidations > 40, "ping-pong must invalidate constantly: {}", r.invalidations);
-        assert!(r.hit_rate() < 0.5, "shared writes must not hit: {}", r.hit_rate());
+        assert!(
+            r.invalidations > 40,
+            "ping-pong must invalidate constantly: {}",
+            r.invalidations
+        );
+        assert!(
+            r.hit_rate() < 0.5,
+            "shared writes must not hit: {}",
+            r.hit_rate()
+        );
     }
 
     #[test]

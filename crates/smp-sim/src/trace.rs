@@ -64,22 +64,39 @@ impl TracePattern {
     pub fn generate(&self) -> Vec<Op> {
         let mut out = Vec::new();
         match *self {
-            TracePattern::ResidentLoop { base, block_words, rounds, compute_per_access } => {
+            TracePattern::ResidentLoop {
+                base,
+                block_words,
+                rounds,
+                compute_per_access,
+            } => {
                 for _ in 0..rounds {
                     for w in 0..block_words {
                         if compute_per_access > 0 {
                             out.push(Op::Compute(compute_per_access));
                         }
-                        out.push(Op::Mem { addr: base + w, write: false });
+                        out.push(Op::Mem {
+                            addr: base + w,
+                            write: false,
+                        });
                     }
                 }
             }
-            TracePattern::Stream { base, words, stride, compute_per_access, write } => {
+            TracePattern::Stream {
+                base,
+                words,
+                stride,
+                compute_per_access,
+                write,
+            } => {
                 for i in 0..words {
                     if compute_per_access > 0 {
                         out.push(Op::Compute(compute_per_access));
                     }
-                    out.push(Op::Mem { addr: base + i * stride, write });
+                    out.push(Op::Mem {
+                        addr: base + i * stride,
+                        write,
+                    });
                 }
             }
         }
@@ -89,7 +106,11 @@ impl TracePattern {
     /// Number of memory operations the trace will contain.
     pub fn mem_ops(&self) -> usize {
         match *self {
-            TracePattern::ResidentLoop { block_words, rounds, .. } => block_words * rounds,
+            TracePattern::ResidentLoop {
+                block_words,
+                rounds,
+                ..
+            } => block_words * rounds,
             TracePattern::Stream { words, .. } => words,
         }
     }
@@ -101,30 +122,66 @@ mod tests {
 
     #[test]
     fn resident_loop_repeats_the_block() {
-        let t = TracePattern::ResidentLoop { base: 100, block_words: 3, rounds: 2, compute_per_access: 0 }
-            .generate();
-        let addrs: Vec<usize> =
-            t.iter().filter_map(|op| match op {
+        let t = TracePattern::ResidentLoop {
+            base: 100,
+            block_words: 3,
+            rounds: 2,
+            compute_per_access: 0,
+        }
+        .generate();
+        let addrs: Vec<usize> = t
+            .iter()
+            .filter_map(|op| match op {
                 Op::Mem { addr, .. } => Some(*addr),
                 _ => None,
-            }).collect();
+            })
+            .collect();
         assert_eq!(addrs, vec![100, 101, 102, 100, 101, 102]);
     }
 
     #[test]
     fn stream_strides() {
-        let t = TracePattern::Stream { base: 0, words: 4, stride: 8, compute_per_access: 2, write: true }
-            .generate();
+        let t = TracePattern::Stream {
+            base: 0,
+            words: 4,
+            stride: 8,
+            compute_per_access: 2,
+            write: true,
+        }
+        .generate();
         assert_eq!(t.len(), 8, "compute + mem per access");
-        assert_eq!(t[1], Op::Mem { addr: 0, write: true });
-        assert_eq!(t[7], Op::Mem { addr: 24, write: true });
+        assert_eq!(
+            t[1],
+            Op::Mem {
+                addr: 0,
+                write: true
+            }
+        );
+        assert_eq!(
+            t[7],
+            Op::Mem {
+                addr: 24,
+                write: true
+            }
+        );
     }
 
     #[test]
     fn mem_ops_counts_match_generation() {
         for p in [
-            TracePattern::ResidentLoop { base: 0, block_words: 10, rounds: 3, compute_per_access: 1 },
-            TracePattern::Stream { base: 0, words: 25, stride: 2, compute_per_access: 0, write: false },
+            TracePattern::ResidentLoop {
+                base: 0,
+                block_words: 10,
+                rounds: 3,
+                compute_per_access: 1,
+            },
+            TracePattern::Stream {
+                base: 0,
+                words: 25,
+                stride: 2,
+                compute_per_access: 0,
+                write: false,
+            },
         ] {
             let n = p
                 .generate()

@@ -43,7 +43,10 @@ impl Barrier {
         assert!(parties > 0, "Barrier: need at least one party");
         Self {
             parties,
-            state: Mutex::new(BarrierState { waiting: parties, phase: 0 }),
+            state: Mutex::new(BarrierState {
+                waiting: parties,
+                phase: 0,
+            }),
             cv: Condvar::new(),
         }
     }
@@ -85,7 +88,9 @@ where
     C: Fn(T, T) -> T + Sync,
 {
     assert!(n_threads > 0);
-    let partials: Vec<Mutex<T>> = (0..n_threads).map(|_| Mutex::new(identity.clone())).collect();
+    let partials: Vec<Mutex<T>> = (0..n_threads)
+        .map(|_| Mutex::new(identity.clone()))
+        .collect();
     crate::pool::scope_threads(n_threads, |t| {
         let range = crate::chunk_range(t, n, n_threads);
         let mut acc = identity.clone();
@@ -94,7 +99,10 @@ where
         }
         *partials[t].lock() = acc;
     });
-    partials.into_iter().map(Mutex::into_inner).fold(identity, &combine)
+    partials
+        .into_iter()
+        .map(Mutex::into_inner)
+        .fold(identity, &combine)
 }
 
 #[cfg(test)]
@@ -114,7 +122,11 @@ mod tests {
             for phase in 1..=5usize {
                 count.fetch_add(1, Ordering::SeqCst);
                 barrier.wait();
-                assert_eq!(count.load(Ordering::SeqCst), phase * parties, "phase {phase}");
+                assert_eq!(
+                    count.load(Ordering::SeqCst),
+                    phase * parties,
+                    "phase {phase}"
+                );
                 barrier.wait(); // second barrier so nobody races ahead
             }
         });

@@ -22,7 +22,7 @@
 /// line-size-determined rate). The Tera MTA has no caches, so its model
 /// charges both classes identically — which is precisely the architectural
 /// contrast the paper studies.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct OpCounts {
     /// Integer ALU operations (adds, compares, index arithmetic, branches).
     pub int_ops: u64,
@@ -199,7 +199,7 @@ impl OpRecorder {
 }
 
 /// Per-logical-thread counts for one parallel region, in thread order.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ThreadCounts {
     threads: Vec<OpCounts>,
 }
@@ -242,7 +242,11 @@ impl ThreadCounts {
     /// Instruction count of the most-loaded thread — the critical path of a
     /// barrier-terminated parallel region.
     pub fn max_thread_instructions(&self) -> u64 {
-        self.threads.iter().map(OpCounts::instructions).max().unwrap_or(0)
+        self.threads
+            .iter()
+            .map(OpCounts::instructions)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Makespan imbalance: `n_threads * max_thread / total`, i.e. how much
@@ -275,7 +279,11 @@ mod tests {
     use super::*;
 
     fn c(int_ops: u64, loads: u64) -> OpCounts {
-        OpCounts { int_ops, loads, ..OpCounts::default() }
+        OpCounts {
+            int_ops,
+            loads,
+            ..OpCounts::default()
+        }
     }
 
     #[test]

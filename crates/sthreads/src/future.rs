@@ -39,13 +39,19 @@ impl<T: Send + 'static> Future<T> {
         let handle = std::thread::spawn(move || {
             writer.put(f());
         });
-        Self { slot, handle: Some(handle) }
+        Self {
+            slot,
+            handle: Some(handle),
+        }
     }
 
     /// An already-resolved future. Useful for the sequential fallbacks the
     /// paper uses when a loop nest is below its parallelization threshold.
     pub fn ready(value: T) -> Self {
-        Self { slot: Arc::new(SyncVar::new_full(value)), handle: None }
+        Self {
+            slot: Arc::new(SyncVar::new_full(value)),
+            handle: None,
+        }
     }
 
     /// Block until the computation finishes and return its value.
@@ -121,7 +127,10 @@ mod tests {
             7
         });
         assert_eq!(f.force(), 7);
-        assert!(DONE.load(Ordering::SeqCst), "force returned before the computation finished");
+        assert!(
+            DONE.load(Ordering::SeqCst),
+            "force returned before the computation finished"
+        );
     }
 
     #[test]
@@ -141,7 +150,10 @@ mod tests {
             });
             // dropped here without force()
         }
-        assert!(flag.load(Ordering::SeqCst), "drop must join the spawned thread");
+        assert!(
+            flag.load(Ordering::SeqCst),
+            "drop must join the spawned thread"
+        );
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod syncvar;
 pub use barrier::{reduce, Barrier};
 pub use counting::{OpCounts, OpRecorder, ThreadCounts};
 pub use future::Future;
-pub use par_for::{multithreaded_for, ChunkBounds, ParFor, Schedule};
+pub use par_for::{multithreaded_for, par_map, ChunkBounds, ParFor, Schedule};
 pub use pool::{scope_threads, ThreadPool};
 pub use queue::WorkQueue;
 pub use syncvar::{SyncCounter, SyncVar};
@@ -82,7 +82,10 @@ pub use syncvar::{SyncCounter, SyncVar};
 /// ```
 pub fn chunk_range(chunk: usize, n_items: usize, n_chunks: usize) -> std::ops::Range<usize> {
     assert!(n_chunks > 0, "chunk_range: n_chunks must be positive");
-    assert!(chunk < n_chunks, "chunk_range: chunk {chunk} out of {n_chunks}");
+    assert!(
+        chunk < n_chunks,
+        "chunk_range: chunk {chunk} out of {n_chunks}"
+    );
     let first = chunk * n_items / n_chunks;
     let last = (chunk + 1) * n_items / n_chunks;
     first..last
@@ -102,7 +105,10 @@ mod tests {
                         seen[i] += 1;
                     }
                 }
-                assert!(seen.iter().all(|&s| s == 1), "items={n_items} chunks={n_chunks}");
+                assert!(
+                    seen.iter().all(|&s| s == 1),
+                    "items={n_items} chunks={n_chunks}"
+                );
             }
         }
     }
@@ -111,8 +117,9 @@ mod tests {
     fn chunk_sizes_differ_by_at_most_one() {
         for n_items in [5usize, 100, 999] {
             for n_chunks in [2usize, 3, 13, 64] {
-                let sizes: Vec<usize> =
-                    (0..n_chunks).map(|c| chunk_range(c, n_items, n_chunks).len()).collect();
+                let sizes: Vec<usize> = (0..n_chunks)
+                    .map(|c| chunk_range(c, n_items, n_chunks).len())
+                    .collect();
                 let min = sizes.iter().min().unwrap();
                 let max = sizes.iter().max().unwrap();
                 assert!(max - min <= 1);

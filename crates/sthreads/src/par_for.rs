@@ -48,11 +48,18 @@ pub struct ChunkBounds {
 /// precisely the property the paper's manual transformations establish
 /// before inserting the pragma (privatized counters in Program 2, block
 /// locks in Program 4).
-pub fn multithreaded_for<F>(range: std::ops::Range<usize>, n_threads: usize, schedule: Schedule, body: F)
-where
+pub fn multithreaded_for<F>(
+    range: std::ops::Range<usize>,
+    n_threads: usize,
+    schedule: Schedule,
+    body: F,
+) where
     F: Fn(usize) + Sync,
 {
-    ParFor::new(range).threads(n_threads).schedule(schedule).run(body);
+    ParFor::new(range)
+        .threads(n_threads)
+        .schedule(schedule)
+        .run(body);
 }
 
 /// Builder form of [`multithreaded_for`], for callers that also need the
@@ -69,7 +76,12 @@ impl ParFor {
     /// A parallel loop over `range` with one thread and static scheduling;
     /// configure with the builder methods.
     pub fn new(range: std::ops::Range<usize>) -> Self {
-        Self { range, n_threads: 1, n_chunks: None, schedule: Schedule::Static }
+        Self {
+            range,
+            n_threads: 1,
+            n_chunks: None,
+            schedule: Schedule::Static,
+        }
     }
 
     /// Set the number of worker threads (default 1).
@@ -168,6 +180,38 @@ impl ParFor {
     }
 }
 
+/// Map `f` over `0..n_tasks` with `n_threads` workers and collect the
+/// results **in index order**, exactly as a sequential `map` would.
+///
+/// Each task writes into its own pre-allocated slot, so the output is
+/// bit-identical to the sequential path for every schedule and thread
+/// count — the property the experiment harness's oracle cross-checks
+/// rely on. [`Schedule::Dynamic`] suits variable-size tasks (benchmark
+/// scenarios, simulator sweeps); [`Schedule::Static`] suits uniform ones
+/// (table rows).
+pub fn par_map<T, F>(n_tasks: usize, n_threads: usize, schedule: Schedule, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n_threads <= 1 || n_tasks <= 1 {
+        return (0..n_tasks).map(f).collect();
+    }
+    let slots: Vec<parking_lot::Mutex<Option<T>>> = (0..n_tasks)
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+    multithreaded_for(0..n_tasks, n_threads, schedule, |i| {
+        *slots[i].lock() = Some(f(i));
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("multithreaded_for visits each index once")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,10 +272,29 @@ mod tests {
     #[test]
     fn run_chunked_runs_every_chunk_once_with_many_chunks_few_threads() {
         let seen: Vec<AtomicU32> = (0..256).map(|_| AtomicU32::new(0)).collect();
-        ParFor::new(0..1000).threads(2).chunk_count(256).run_chunked(|c| {
-            seen[c.chunk].fetch_add(1, Ordering::SeqCst);
-        });
+        ParFor::new(0..1000)
+            .threads(2)
+            .chunk_count(256)
+            .run_chunked(|c| {
+                seen[c.chunk].fetch_add(1, Ordering::SeqCst);
+            });
         assert!(seen.iter().all(|s| s.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn par_map_matches_sequential_map_for_every_schedule_and_thread_count() {
+        let expected: Vec<u64> = (0..97).map(|i| (i as u64) * 3 + 1).collect();
+        for schedule in [Schedule::Static, Schedule::Dynamic] {
+            for threads in [1, 2, 8] {
+                let got = par_map(97, threads, schedule, |i| (i as u64) * 3 + 1);
+                assert_eq!(got, expected, "{schedule:?} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_of_empty_task_list_is_empty() {
+        assert!(par_map(0, 4, Schedule::Dynamic, |i| i).is_empty());
     }
 
     #[test]
@@ -241,8 +304,8 @@ mod tests {
         let owner: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(u32::MAX)).collect();
         let pf = ParFor::new(0..100).threads(4);
         pf.run_chunked(|c| {
-            for i in c.first..c.end {
-                owner[i].store(c.chunk as u32, Ordering::SeqCst);
+            for o in &owner[c.first..c.end] {
+                o.store(c.chunk as u32, Ordering::SeqCst);
             }
         });
         let owners: Vec<u32> = owner.iter().map(|o| o.load(Ordering::SeqCst)).collect();

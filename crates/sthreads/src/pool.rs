@@ -56,7 +56,9 @@ impl ThreadPool {
 
     /// A pool sized to the host's available parallelism.
     pub fn host() -> Self {
-        let n = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        let n = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
         Self::new(n)
     }
 
@@ -99,7 +101,11 @@ mod tests {
             assert_eq!(t, 0);
             *slot.lock() = Some(std::thread::current().id());
         });
-        assert_eq!(*slot.lock(), Some(tid), "width-1 region must run on the caller");
+        assert_eq!(
+            *slot.lock(),
+            Some(tid),
+            "width-1 region must run on the caller"
+        );
     }
 
     #[test]

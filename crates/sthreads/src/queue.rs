@@ -19,7 +19,10 @@ pub struct WorkQueue {
 impl WorkQueue {
     /// Create a queue dispensing each index of `range` exactly once.
     pub fn new(range: Range<usize>) -> Self {
-        Self { next: AtomicUsize::new(range.start), end: range.end }
+        Self {
+            next: AtomicUsize::new(range.start),
+            end: range.end,
+        }
     }
 
     /// Claim the next unprocessed index, or `None` when the range is
@@ -63,7 +66,7 @@ mod tests {
     fn empty_range_dispenses_nothing() {
         let q = WorkQueue::new(5..5);
         assert!(q.next().is_none());
-        assert_eq!(q.claimed(), 5usize.min(5));
+        assert_eq!(q.claimed(), 5);
         assert!(q.is_exhausted());
     }
 

@@ -42,7 +42,11 @@ pub struct SyncVar<T> {
 impl<T> SyncVar<T> {
     /// Create an empty variable (full/empty bit = empty).
     pub fn new_empty() -> Self {
-        Self { state: Mutex::new(State { value: None }), filled: Condvar::new(), emptied: Condvar::new() }
+        Self {
+            state: Mutex::new(State { value: None }),
+            filled: Condvar::new(),
+            emptied: Condvar::new(),
+        }
     }
 
     /// Create a full variable holding `value`.
@@ -173,12 +177,15 @@ pub struct SyncCounter {
 impl SyncCounter {
     /// A counter starting at `v`.
     pub fn new(v: u64) -> Self {
-        Self { value: std::sync::atomic::AtomicU64::new(v) }
+        Self {
+            value: std::sync::atomic::AtomicU64::new(v),
+        }
     }
 
     /// Atomically add `delta` and return the *previous* value.
     pub fn fetch_add(&self, delta: u64) -> u64 {
-        self.value.fetch_add(delta, std::sync::atomic::Ordering::Relaxed)
+        self.value
+            .fetch_add(delta, std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Current value.
@@ -234,7 +241,11 @@ mod tests {
             got.push(v.take());
         }
         producer.join().unwrap();
-        assert_eq!(got, (0..100).collect::<Vec<_>>(), "handoff must preserve order and lose nothing");
+        assert_eq!(
+            got,
+            (0..100).collect::<Vec<_>>(),
+            "handoff must preserve order and lose nothing"
+        );
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Property-based tests for the sthreads runtime primitives.
 
 use proptest::prelude::*;
-use sthreads::{chunk_range, multithreaded_for, OpCounts, ParFor, Schedule, SyncVar, ThreadCounts, WorkQueue};
 use std::sync::atomic::{AtomicU64, Ordering};
+use sthreads::{
+    chunk_range, multithreaded_for, OpCounts, ParFor, Schedule, SyncVar, ThreadCounts, WorkQueue,
+};
 
 proptest! {
     /// Every index in 0..n belongs to exactly one chunk, for any (n, chunks).

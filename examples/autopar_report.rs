@@ -42,7 +42,15 @@ fn main() {
     let stencil = LoopNest::new("for i (a[i] = a[i-2] + b[i])", "i").stmt(
         Stmt::new("a[i]=a[i-2]+b[i]")
             .array("a", vec![Expr::var("i")], true)
-            .array("a", vec![Expr::Affine { var: "i".into(), scale: 1, offset: -2 }], false)
+            .array(
+                "a",
+                vec![Expr::Affine {
+                    var: "i".into(),
+                    scale: 1,
+                    offset: -2,
+                }],
+                false,
+            )
             .array("b", vec![Expr::var("i")], false),
     );
     print!("{}", analyze_loop(&stencil));
@@ -50,8 +58,24 @@ fn main() {
     // Odd/even split — the GCD test proves independence.
     let odd_even = LoopNest::new("for i (a[2i] = a[2i+1])", "i").stmt(
         Stmt::new("a[2i]=a[2i+1]")
-            .array("a", vec![Expr::Affine { var: "i".into(), scale: 2, offset: 0 }], true)
-            .array("a", vec![Expr::Affine { var: "i".into(), scale: 2, offset: 1 }], false),
+            .array(
+                "a",
+                vec![Expr::Affine {
+                    var: "i".into(),
+                    scale: 2,
+                    offset: 0,
+                }],
+                true,
+            )
+            .array(
+                "a",
+                vec![Expr::Affine {
+                    var: "i".into(),
+                    scale: 2,
+                    offset: 1,
+                }],
+                false,
+            ),
     );
     print!("{}", analyze_loop(&odd_even));
 

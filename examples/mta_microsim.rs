@@ -48,8 +48,14 @@ fn main() {
     a.halt();
     let program = a.assemble().expect("assemble");
 
-    let mut m = Machine::new(MtaConfig { mem_words: 1 << 16, ..MtaConfig::tera(1) }, program)
-        .expect("machine");
+    let mut m = Machine::new(
+        MtaConfig {
+            mem_words: 1 << 16,
+            ..MtaConfig::tera(1)
+        },
+        program,
+    )
+    .expect("machine");
     for i in 0..N {
         m.memory_mut().store(1024 + i, (i % 7) as u64);
         m.memory_mut().store(1024 + N + i, (i % 5) as u64);
@@ -70,7 +76,10 @@ fn main() {
 
     // ── 2. The utilization curve (paper Sections 5 and 7) ──────────────
     println!("\nutilization vs streams (25% memory mix):");
-    let cfg = || MtaConfig { mem_words: 1 << 20, ..MtaConfig::tera(1) };
+    let cfg = || MtaConfig {
+        mem_words: 1 << 20,
+        ..MtaConfig::tera(1)
+    };
     for s in [1usize, 4, 16, 32, 64, 80, 128] {
         let u = measure_utilization(cfg(), s, 300, 3);
         let bar = "#".repeat((u * 50.0) as usize);
@@ -79,7 +88,10 @@ fn main() {
     println!("  -> a single stream gets ~5% of the machine; saturation needs dozens of streams");
 
     // ── 3. Hot banks: why interleaving matters ──────────────────────────
-    let big = || MtaConfig { mem_words: 1 << 23, ..MtaConfig::tera(1) };
+    let big = || MtaConfig {
+        mem_words: 1 << 23,
+        ..MtaConfig::tera(1)
+    };
     let (_, cold) = kernels::run_kernel(big(), kernels::mem_kernel(64, 150, 1, 4096), &[]);
     let (_, hot) = kernels::run_kernel(big(), kernels::mem_kernel(64, 150, 64, 4096), &[]);
     println!(
@@ -92,7 +104,14 @@ fn main() {
     // ── 4. Pipeline of streams through full/empty words ────────────────
     let (program, layout) = kernels::pipeline_kernel(8, 50);
     let empties: Vec<usize> = (0..=8).map(|k| layout.chan_base + k).collect();
-    let (m, r) = kernels::run_kernel(MtaConfig { mem_words: 1 << 16, ..MtaConfig::tera(2) }, program, &empties);
+    let (m, r) = kernels::run_kernel(
+        MtaConfig {
+            mem_words: 1 << 16,
+            ..MtaConfig::tera(2)
+        },
+        program,
+        &empties,
+    );
     println!(
         "\n8-stage producer/consumer pipeline over full/empty words: sum {}, {} wakeups, {} cycles",
         m.memory().load(layout.sink_addr),

@@ -21,7 +21,11 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     let sequential = threat::threat_analysis_host(&scenario);
-    println!("  sequential (Program 1): {} intervals in {:?}", sequential.len(), t0.elapsed());
+    println!(
+        "  sequential (Program 1): {} intervals in {:?}",
+        sequential.len(),
+        t0.elapsed()
+    );
 
     let t0 = std::time::Instant::now();
     let chunked = threat::threat_analysis_chunked_host(&scenario, 16, 4);
@@ -30,7 +34,11 @@ fn main() {
         chunked.n_intervals(),
         t0.elapsed()
     );
-    assert_eq!(chunked.flatten(), sequential, "parallel must equal sequential");
+    assert_eq!(
+        chunked.flatten(),
+        sequential,
+        "parallel must equal sequential"
+    );
 
     let fine = threat::threat_analysis_fine_host(&scenario, 4);
     assert_eq!(
@@ -52,8 +60,14 @@ fn main() {
     let masking = terrain::terrain_masking_host(&scenario);
     let coarse = terrain::terrain_masking_coarse_host(&scenario, 4, 10);
     let fine = terrain::terrain_masking_fine_host(&scenario, 4);
-    assert_eq!(coarse, masking, "coarse (block-locked) variant must be bit-identical");
-    assert_eq!(fine, masking, "fine (ring-parallel) variant must be bit-identical");
+    assert_eq!(
+        coarse, masking,
+        "coarse (block-locked) variant must be bit-identical"
+    );
+    assert_eq!(
+        fine, masking,
+        "fine (ring-parallel) variant must be bit-identical"
+    );
     terrain::verify_masking(&scenario, &masking).expect("C3IPBS correctness test");
     let covered = masking.as_slice().iter().filter(|v| v.is_finite()).count();
     println!(
@@ -79,7 +93,10 @@ fn main() {
     let exps = Experiments::new(Workload::build(WorkloadScale::Reduced));
     let ta = exps.ta_seq_secs();
     println!("  sequential Threat Analysis (modeled, benchmark scale):");
-    println!("    Alpha {:.0}s | Pentium Pro {:.0}s | Exemplar {:.0}s | Tera MTA {:.0}s", ta[0], ta[1], ta[2], ta[3]);
+    println!(
+        "    Alpha {:.0}s | Pentium Pro {:.0}s | Exemplar {:.0}s | Tera MTA {:.0}s",
+        ta[0], ta[1], ta[2], ta[3]
+    );
     println!(
         "  the Tera runs one stream at ~5% utilization — {:.0}x slower than the Alpha,",
         ta[3] / ta[0]

@@ -92,13 +92,13 @@ fn main() {
         100.0 * engagement::coverage(&plan, &intervals),
         interceptable.len() - plan.threats_engaged(),
     );
-    let busiest = plan
-        .engagements
-        .iter()
-        .fold(std::collections::BTreeMap::<u32, usize>::new(), |mut m, e| {
+    let busiest = plan.engagements.iter().fold(
+        std::collections::BTreeMap::<u32, usize>::new(),
+        |mut m, e| {
             *m.entry(e.weapon).or_default() += 1;
             m
-        });
+        },
+    );
     if let Some((w, n)) = busiest.iter().max_by_key(|&(_, n)| n) {
         println!("busiest battery: weapon {w} with {n} engagements");
     }

@@ -21,7 +21,12 @@ fn main() {
         scenario.terrain.x_size(),
         scenario.terrain.y_size(),
         scenario.cell_size_m,
-        scenario.terrain.as_slice().iter().cloned().fold(0.0, f64::max),
+        scenario
+            .terrain
+            .as_slice()
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max),
         scenario.threats.len()
     );
 
@@ -44,7 +49,10 @@ fn main() {
     println!("\nterrain relief:");
     print!("{}", terrain::render_terrain(&scenario.terrain, 72, 36));
     println!("\nmasking field ('.'=no threat, '#'=ground level only, 1-9=ceiling/200m):");
-    print!("{}", terrain::render_masking(&masking, &scenario.terrain, 200.0, 72, 36));
+    print!(
+        "{}",
+        terrain::render_masking(&masking, &scenario.terrain, 200.0, 72, 36)
+    );
 
     // The paper's Section 6 punchline: the memory-per-thread problem.
     let region_cells: usize = scenario
@@ -70,7 +78,13 @@ fn main() {
     // Modeled platform comparison (Table 12's manual rows).
     let exps = Experiments::new(Workload::build(WorkloadScale::Reduced));
     println!("\nmodeled benchmark-scale times (paper Table 12, manual parallelization):");
-    println!("  Pentium Pro (4 proc, coarse): {:6.1} s", exps.tm_conv_parallel(&exps.cal.ppro, 4));
-    println!("  Exemplar   (16 proc, coarse): {:6.1} s", exps.tm_conv_parallel(&exps.cal.exemplar, 16));
+    println!(
+        "  Pentium Pro (4 proc, coarse): {:6.1} s",
+        exps.tm_conv_parallel(&exps.cal.ppro, 4)
+    );
+    println!(
+        "  Exemplar   (16 proc, coarse): {:6.1} s",
+        exps.tm_conv_parallel(&exps.cal.exemplar, 16)
+    );
     println!("  Tera MTA    (2 proc, fine):   {:6.1} s", exps.tm_tera(2));
 }

@@ -28,16 +28,29 @@ fn main() {
     }
     let undefended = per_threat.iter().filter(|&&n| n == 0).count();
     let max_windows = per_threat.iter().max().copied().unwrap_or(0);
-    let longest = intervals.iter().map(|iv| iv.t_end - iv.t_start + 1).max().unwrap_or(0);
-    println!("scenario: {} threats, {} weapons", scenario.threats.len(), scenario.weapons.len());
+    let longest = intervals
+        .iter()
+        .map(|iv| iv.t_end - iv.t_start + 1)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "scenario: {} threats, {} weapons",
+        scenario.threats.len(),
+        scenario.weapons.len()
+    );
     println!("  {} interception intervals found", intervals.len());
-    println!("  {} threats have no interception option (leakers)", undefended);
+    println!(
+        "  {} threats have no interception option (leakers)",
+        undefended
+    );
     println!("  busiest threat has {max_windows} interception windows");
     println!("  longest window lasts {longest} time steps");
 
     // Host-parallel scaling of Program 2 (real wall clock on this
     // machine — speedup is bounded by the cores actually available).
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("\nhost scaling of the chunked program (Program 2) on {cores} available core(s):");
     let t_seq = {
         let t = std::time::Instant::now();

@@ -22,7 +22,10 @@ fn threat_analysis_all_variants_agree_on_benchmark_sized_input() {
         assert_eq!(chunked.flatten(), seq, "chunks={chunks} threads={threads}");
     }
     let fine = threat::threat_analysis_fine_host(&scenario, 8);
-    assert_eq!(threat::canonical(fine.intervals), threat::canonical(seq.clone()));
+    assert_eq!(
+        threat::canonical(fine.intervals),
+        threat::canonical(seq.clone())
+    );
 }
 
 #[test]
@@ -37,7 +40,10 @@ fn threat_analysis_counting_backends_do_not_change_results() {
     let (counted_chunked, _) = threat::threat_analysis_chunked(&scenario, 16);
     assert_eq!(counted_chunked.flatten(), seq);
     let (counted_fine, _) = threat::threat_analysis_fine(&scenario);
-    assert_eq!(threat::canonical(counted_fine.intervals), threat::canonical(seq.clone()));
+    assert_eq!(
+        threat::canonical(counted_fine.intervals),
+        threat::canonical(seq.clone())
+    );
     let (seq2, _) = threat::threat_analysis_profile(&scenario);
     assert_eq!(seq2, seq);
 }
@@ -99,8 +105,12 @@ fn edge_scenarios_do_not_break_any_variant() {
     let seq = threat::threat_analysis_host(&ts);
     assert!(seq.is_empty());
     threat::verify_intervals(&ts, &seq).expect("empty output verifies");
-    assert!(threat::threat_analysis_chunked_host(&ts, 8, 4).flatten().is_empty());
-    assert!(threat::threat_analysis_fine_host(&ts, 4).intervals.is_empty());
+    assert!(threat::threat_analysis_chunked_host(&ts, 8, 4)
+        .flatten()
+        .is_empty());
+    assert!(threat::threat_analysis_fine_host(&ts, 4)
+        .intervals
+        .is_empty());
 }
 
 #[test]

@@ -4,7 +4,7 @@
 //! analytic models for the full benchmark-scale tables.
 
 use tera_c3i::eval_core::models::TeraModel;
-use tera_c3i::mta_sim::kernels::{measure_utilization, mixed_kernel, run_kernel};
+use tera_c3i::mta_sim::kernels::{measure_utilization_sweep, mixed_kernel, run_kernel};
 use tera_c3i::mta_sim::MtaConfig;
 use tera_c3i::smp_sim::{CacheConfig, CpuConfig, SmpConfig, SmpMachine, TracePattern};
 use tera_c3i::sthreads::OpCounts;
@@ -26,17 +26,21 @@ fn mta_utilization_model_matches_simulator_across_stream_counts() {
     // mixed_kernel(_, _, alu_per_iter=3): 5 instructions/iteration, one a
     // load => model latency L = (4*21 + 70)/5.
     let model = tera_model();
-    let mix = OpCounts { int_ops: 4, loads: 1, ..OpCounts::default() };
+    let mix = OpCounts {
+        int_ops: 4,
+        loads: 1,
+        ..OpCounts::default()
+    };
     let l = model.avg_latency(&mix);
     assert!((l - (4.0 * 21.0 + 70.0) / 5.0).abs() < 1e-9);
 
-    for s in [1usize, 2, 4, 8, 16, 24] {
-        let sim = measure_utilization(
-            MtaConfig { mem_words: 1 << 20, ..MtaConfig::tera(1) },
-            s,
-            600,
-            3,
-        );
+    let streams = [1usize, 2, 4, 8, 16, 24];
+    let cfg = MtaConfig {
+        mem_words: 1 << 20,
+        ..MtaConfig::tera(1)
+    };
+    let sims = measure_utilization_sweep(&cfg, &streams, 600, 3, 4);
+    for (&s, sim) in streams.iter().zip(sims) {
         let predicted = (s as f64 / l).min(1.0);
         let err = (sim - predicted).abs() / predicted;
         assert!(
@@ -46,15 +50,39 @@ fn mta_utilization_model_matches_simulator_across_stream_counts() {
     }
     // Saturation region: the model says 1.0; the simulator should be
     // within a few percent (fork/drain edges).
-    for s in [64usize, 96, 128] {
-        let sim = measure_utilization(
-            MtaConfig { mem_words: 1 << 20, ..MtaConfig::tera(1) },
-            s,
-            600,
-            3,
+    let saturated = [64usize, 96, 128];
+    for (&s, sim) in saturated
+        .iter()
+        .zip(measure_utilization_sweep(&cfg, &saturated, 600, 3, 4))
+    {
+        assert!(
+            sim > 0.93,
+            "saturated utilization too low at {s} streams: {sim}"
         );
-        assert!(sim > 0.93, "saturated utilization too low at {s} streams: {sim}");
     }
+}
+
+#[test]
+fn utilization_sweep_is_deterministic_and_load_independent() {
+    // The sweep's numbers come from simulated cycle counts, never from
+    // host wall-clock, so they must not depend on how many host threads
+    // run the sweep or on how loaded the machine is. Guard that: the same
+    // sweep, sequentially and with contending host threads, twice.
+    let cfg = MtaConfig {
+        mem_words: 1 << 20,
+        ..MtaConfig::tera(1)
+    };
+    let streams = [1usize, 8, 32, 64];
+    let sequential = measure_utilization_sweep(&cfg, &streams, 300, 3, 1);
+    for n_threads in [2usize, 8] {
+        let parallel = measure_utilization_sweep(&cfg, &streams, 300, 3, n_threads);
+        assert_eq!(parallel, sequential, "n_threads={n_threads}");
+    }
+    assert_eq!(
+        measure_utilization_sweep(&cfg, &streams, 300, 3, 1),
+        sequential,
+        "repeat run"
+    );
 }
 
 #[test]
@@ -62,9 +90,20 @@ fn mta_sequential_cpi_matches_model_latency() {
     // A single stream running the mixed kernel: simulated cycles per
     // instruction must equal the model's average latency.
     let program = mixed_kernel(1, 2000, 3, 100_000);
-    let (_, r) = run_kernel(MtaConfig { mem_words: 1 << 20, ..MtaConfig::tera(1) }, program, &[]);
+    let (_, r) = run_kernel(
+        MtaConfig {
+            mem_words: 1 << 20,
+            ..MtaConfig::tera(1)
+        },
+        program,
+        &[],
+    );
     let cpi = r.cycles as f64 / r.stats.instructions() as f64;
-    let mix = OpCounts { int_ops: 4, loads: 1, ..OpCounts::default() };
+    let mix = OpCounts {
+        int_ops: 4,
+        loads: 1,
+        ..OpCounts::default()
+    };
     let l = tera_model().avg_latency(&mix);
     assert!(
         (cpi - l).abs() / l < 0.05,
@@ -81,12 +120,21 @@ fn mta_two_processor_scaling_is_near_ideal_in_the_simulator() {
     // the simulator.
     let run = |procs: usize| {
         let p = mixed_kernel(256, 200, 3, 100_000);
-        let (_, r) =
-            run_kernel(MtaConfig { mem_words: 1 << 20, ..MtaConfig::tera(procs) }, p, &[]);
+        let (_, r) = run_kernel(
+            MtaConfig {
+                mem_words: 1 << 20,
+                ..MtaConfig::tera(procs)
+            },
+            p,
+            &[],
+        );
         r.cycles as f64
     };
     let speedup = run(1) / run(2);
-    assert!(speedup > 1.85 && speedup < 2.05, "simulator 2-proc speedup: {speedup}");
+    assert!(
+        speedup > 1.85 && speedup < 2.05,
+        "simulator 2-proc speedup: {speedup}"
+    );
 }
 
 #[test]
@@ -98,7 +146,11 @@ fn smp_bus_saturation_justifies_the_conventional_bus_term() {
     let cfg = |n: usize| SmpConfig {
         n_cpus: n,
         cpu: CpuConfig {
-            cache: CacheConfig { words: 4096, line_words: 4, ways: 4 },
+            cache: CacheConfig {
+                words: 4096,
+                line_words: 4,
+                ways: 4,
+            },
             hit_cycles: 1,
             miss_extra_cycles: 30,
         },
@@ -124,7 +176,10 @@ fn smp_bus_saturation_justifies_the_conventional_bus_term() {
     let r16 = run(16);
     // Bus-bound regime: doubling processors buys almost nothing.
     let gain = r8.makespan() as f64 / r16.makespan() as f64;
-    assert!(gain < 1.25, "bus-bound makespan should barely improve: {gain}");
+    assert!(
+        gain < 1.25,
+        "bus-bound makespan should barely improve: {gain}"
+    );
     // And the makespan is close to the bus service time of all misses.
     let misses: u64 = r16.cache_stats.iter().map(|&(_, m, _)| m).sum();
     let bus_time = misses * 12;
@@ -142,7 +197,11 @@ fn smp_cache_residency_justifies_the_two_class_cost_model() {
     // ops a miss-amortized cost. Validate the split: a resident loop hits
     // >95%, a streaming sweep misses at the line rate.
     let cpu = CpuConfig {
-        cache: CacheConfig { words: 8192, line_words: 4, ways: 4 },
+        cache: CacheConfig {
+            words: 8192,
+            line_words: 4,
+            ways: 4,
+        },
         hit_cycles: 1,
         miss_extra_cycles: 30,
     };
@@ -162,7 +221,11 @@ fn smp_cache_residency_justifies_the_two_class_cost_model() {
     }
     .generate();
     let run = |trace: Vec<tera_c3i::smp_sim::Op>| {
-        let mut m = SmpMachine::new(SmpConfig { n_cpus: 1, cpu, bus_per_transaction: 8 });
+        let mut m = SmpMachine::new(SmpConfig {
+            n_cpus: 1,
+            cpu,
+            bus_per_transaction: 8,
+        });
         m.run(&[trace])
     };
     let hr_resident = run(resident).hit_rate();

@@ -5,11 +5,13 @@
 
 use std::sync::OnceLock;
 use tera_c3i::eval_core::experiments::{paper, Figure};
-use tera_c3i::eval_core::{Experiments, Table, Workload, WorkloadScale};
+use tera_c3i::eval_core::{Experiments, Table, WorkloadScale};
 
 fn exps() -> &'static Experiments {
     static E: OnceLock<Experiments> = OnceLock::new();
-    E.get_or_init(|| Experiments::new(Workload::build(WorkloadScale::Reduced)))
+    // Snapshot-cached (eval_core::cache): only the first test binary to
+    // run after a measurement-code change pays for re-measurement.
+    E.get_or_init(|| Experiments::load_or_measure(WorkloadScale::Reduced).0)
 }
 
 fn worst_error(t: &Table) -> f64 {
@@ -64,34 +66,65 @@ fn qualitative_findings_of_section7_all_hold() {
     // slower than ... a 200 MHz Pentium Pro."
     let vs_ppro_ta = ta[3] / ta[1];
     let vs_ppro_tm = tm[3] / tm[1];
-    assert!((4.0..8.0).contains(&vs_ppro_ta), "TA Tera/PPro {vs_ppro_ta}");
-    assert!((4.0..8.0).contains(&vs_ppro_tm), "TM Tera/PPro {vs_ppro_tm}");
+    assert!(
+        (4.0..8.0).contains(&vs_ppro_ta),
+        "TA Tera/PPro {vs_ppro_ta}"
+    );
+    assert!(
+        (4.0..8.0).contains(&vs_ppro_tm),
+        "TM Tera/PPro {vs_ppro_tm}"
+    );
 
     // "6 times slower than a 500 MHz Alpha for the relatively memory-bound
     // program and 15 times slower for the relatively compute-bound one."
     let vs_alpha_ta = ta[3] / ta[0];
     let vs_alpha_tm = tm[3] / tm[0];
-    assert!((11.0..17.0).contains(&vs_alpha_ta), "TA Tera/Alpha {vs_alpha_ta}");
-    assert!((5.0..8.0).contains(&vs_alpha_tm), "TM Tera/Alpha {vs_alpha_tm}");
-    assert!(vs_alpha_ta > vs_alpha_tm, "compute-bound code suffers more on the Tera");
+    assert!(
+        (11.0..17.0).contains(&vs_alpha_ta),
+        "TA Tera/Alpha {vs_alpha_ta}"
+    );
+    assert!(
+        (5.0..8.0).contains(&vs_alpha_tm),
+        "TM Tera/Alpha {vs_alpha_tm}"
+    );
+    assert!(
+        vs_alpha_ta > vs_alpha_tm,
+        "compute-bound code suffers more on the Tera"
+    );
 
     // "multithreaded execution on a single-processor Tera was between 2
     // and 3.5 times faster than sequential execution on the Alpha".
     let mt1_ta = e.ta_tera(256, 1);
     let mt1_tm = e.tm_tera(1);
-    assert!((1.7..4.0).contains(&(ta[0] / mt1_ta)), "TA Tera(1)/Alpha {}", ta[0] / mt1_ta);
-    assert!((1.7..4.0).contains(&(tm[0] / mt1_tm)), "TM Tera(1)/Alpha {}", tm[0] / mt1_tm);
+    assert!(
+        (1.7..4.0).contains(&(ta[0] / mt1_ta)),
+        "TA Tera(1)/Alpha {}",
+        ta[0] / mt1_ta
+    );
+    assert!(
+        (1.7..4.0).contains(&(tm[0] / mt1_tm)),
+        "TM Tera(1)/Alpha {}",
+        tm[0] / mt1_tm
+    );
 
     // "the performance of one Tera MTA processor is approximately
     // equivalent to four Exemplar processors" (Threat Analysis).
     let ex4 = e.ta_conv_parallel(&e.cal.exemplar, 4);
-    assert!((0.6..1.4).contains(&(mt1_ta / ex4)), "Tera(1)/Exemplar(4): {}", mt1_ta / ex4);
+    assert!(
+        (0.6..1.4).contains(&(mt1_ta / ex4)),
+        "Tera(1)/Exemplar(4): {}",
+        mt1_ta / ex4
+    );
 
     // "the dual-processor Tera is approximately equivalent to eight
     // Exemplar processors" (Terrain Masking).
     let ex8 = e.tm_conv_parallel(&e.cal.exemplar, 8);
     let tera2 = e.tm_tera(2);
-    assert!((0.6..1.4).contains(&(tera2 / ex8)), "Tera(2)/Exemplar(8): {}", tera2 / ex8);
+    assert!(
+        (0.6..1.4).contains(&(tera2 / ex8)),
+        "Tera(2)/Exemplar(8): {}",
+        tera2 / ex8
+    );
 
     // "speedups of 1.4 and 1.8 on two processors".
     let s_ta = e.ta_tera(256, 1) / e.ta_tera(256, 2);
@@ -117,7 +150,10 @@ fn figure_curves_have_the_papers_shapes() {
     let s8 = m4[7].1;
     let s16 = m4[15].1;
     assert!(s16 < 8.0, "Figure 4 must saturate: {s16}");
-    assert!(s16 - s8 < 2.0, "Figure 4 tail must be flat: s8={s8} s16={s16}");
+    assert!(
+        s16 - s8 < 2.0,
+        "Figure 4 tail must be flat: s8={s8} s16={s16}"
+    );
     // Figure 1 vs Figure 3: TA scales better than TM on the same machine.
     let (m1, _) = e.figure_series(Figure::ThreatPPro);
     let (m3, _) = e.figure_series(Figure::TerrainPPro);
@@ -141,7 +177,7 @@ fn csv_export_round_trips_all_values() {
     let e = exps();
     for t in e.all_tables() {
         let csv = t.to_csv();
-        assert!(csv.lines().count() >= t.rows.len() + 1);
+        assert!(csv.lines().count() > t.rows.len());
         for (m, _) in t.referenced_values() {
             assert!(
                 csv.contains(&format!("{m:.3}")),

@@ -1,0 +1,174 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`/`sample_size`/`bench_function`/`finish`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple best-of-N wall-clock
+//! timer instead of criterion's statistical machinery. Each benchmark
+//! prints one line: its id, the best per-iteration time, and the
+//! iteration count used.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), DEFAULT_SAMPLES, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timing samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into()), self.samples, f);
+        self
+    }
+
+    /// Finish the group (output is already flushed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    samples: usize,
+    /// Filled in by `iter`: (best per-iteration time, iterations per sample).
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measure `f`, taking the best of several timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes long enough to time reliably.
+        let mut iters: u64 = 1;
+        let target = Duration::from_millis(5);
+        loop {
+            let t = time_iters(&mut f, iters);
+            if t >= target || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let t = time_iters(&mut f, iters);
+            if t < best {
+                best = t;
+            }
+        }
+        self.result = Some((best / iters as u32, iters));
+    }
+}
+
+fn time_iters<O, F: FnMut() -> O>(f: &mut F, iters: u64) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed()
+}
+
+const DEFAULT_SAMPLES: usize = 10;
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((per_iter, iters)) => {
+            println!("bench {id:<50} {per_iter:>12.3?}/iter  ({iters} iters/sample)");
+        }
+        None => println!("bench {id:<50} (no measurement: Bencher::iter not called)"),
+    }
+}
+
+/// Collect benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        g.bench_function("small_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("macro_target", |b| b.iter(|| black_box(0u8)));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        criterion_group!(benches, target);
+        benches();
+    }
+}

@@ -1,0 +1,666 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses — the [`Strategy`] trait
+//! with `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! `collection::vec`, `any::<T>()`, weighted `prop_oneof!`, and the
+//! `proptest!` / `prop_assert*!` / `prop_assume!` macros — with two
+//! deliberate simplifications:
+//!
+//! 1. **Deterministic by construction.** Each test case's RNG is seeded
+//!    from a hash of the test name and the case index, so every run (and
+//!    every platform) explores the same inputs. There is no persisted
+//!    failure file and no environment-dependent entropy.
+//! 2. **No shrinking.** On failure the generated inputs are printed
+//!    verbatim; with deterministic generation, a failing case replays
+//!    exactly under `cargo test`.
+
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 generator used for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed directly from a 64-bit value.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` via widening multiply; `bound > 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, build a second strategy from it, and sample that.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "empty range strategy");
+                let span = (b as i128 - a as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (a as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// A `Vec` of strategies generates a `Vec` of one value from each, in
+/// order (used to build fixed-length heterogeneously-parameterized
+/// sequences, e.g. one instruction strategy per program slot).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// collection::vec
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive-exclusive element-count range for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prop_oneof! support
+// ---------------------------------------------------------------------------
+
+/// Object-safe generation, so [`Union`] can hold heterogeneous strategies
+/// producing the same value type.
+pub trait DynGen<V> {
+    /// Generate one value.
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynGen<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Weighted union of strategies, as built by `prop_oneof!`.
+pub struct Union<V> {
+    arms: Vec<(u32, Rc<dyn DynGen<V>>)>,
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Self {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<V> Union<V> {
+    /// Build from `(weight, strategy)` arms; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, Rc<dyn DynGen<V>>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(
+            arms.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs a positive weight"
+        );
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total);
+        for (w, strategy) in &self.arms {
+            if pick < *w as u64 {
+                return strategy.generate_dyn(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick within total");
+    }
+}
+
+/// Erase a strategy's concrete type for use as a [`Union`] arm.
+pub fn __arm<S: Strategy + 'static>(strategy: S) -> Rc<dyn DynGen<S::Value>> {
+    Rc::new(strategy)
+}
+
+/// Pick one of several strategies per generated value, optionally
+/// weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$(($weight as u32, $crate::__arm($strategy))),+])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$((1u32, $crate::__arm($strategy))),+])
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!`; it is retried, not failed.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing case with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (assumption-violating) case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration; only the case count is configurable here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config requiring `cases` passing cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+fn seed_for(test_name: &str, case: u64) -> u64 {
+    // FNV-1a over the test name, mixed with the case index: stable across
+    // runs, platforms, and compiler versions.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Drive one property: run `case` with per-case deterministic RNGs until
+/// `config.cases` cases pass; panic on the first failure. `case` returns
+/// the outcome plus a rendering of the generated inputs for diagnostics.
+pub fn run_cases<F>(config: ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+{
+    let mut passed: u64 = 0;
+    let mut attempt: u64 = 0;
+    let max_attempts = config.cases as u64 * 20 + 100;
+    while passed < config.cases as u64 {
+        assert!(
+            attempt < max_attempts,
+            "proptest `{test_name}`: too many rejected cases \
+             ({passed} passed after {attempt} attempts)"
+        );
+        let mut rng = TestRng::new(seed_for(test_name, attempt));
+        attempt += 1;
+        match case(&mut rng) {
+            (Ok(()), _) => passed += 1,
+            (Err(TestCaseError::Reject(_)), _) => {}
+            (Err(TestCaseError::Fail(msg)), inputs) => {
+                panic!(
+                    "proptest `{test_name}` failed at case {attempt}: {msg}\n\
+                     failing inputs (deterministic, replayable):\n{inputs}"
+                );
+            }
+        }
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`run_cases`] over deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { [$config] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ([$config:expr] $( $(#[$meta:meta])* fn $name:ident(
+        $($arg:tt in $strategy:expr),+ $(,)?
+    ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                $crate::run_cases(__config, stringify!($name), |__rng| {
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        let __value = $crate::Strategy::generate(&($strategy), __rng);
+                        __inputs.push_str(&::std::format!(
+                            "  {} = {:?}\n", stringify!($arg), &__value
+                        ));
+                        let $arg = __value;
+                    )+
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    (__outcome, __inputs)
+                });
+            }
+        )*
+    };
+}
+
+/// Veto the current case (it is regenerated, not failed) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Assert inside a property; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    ::std::format!($($fmt)+), __l, __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let v = (3usize..10).generate(&mut rng);
+            assert!((3..10).contains(&v));
+            let w = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&w));
+            let f = (0.25f64..0.5).generate(&mut rng);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_and_tuples_compose() {
+        let mut rng = TestRng::new(2);
+        let s = (1usize..4).prop_flat_map(|n| {
+            super::collection::vec(0u64..10, n..n + 1).prop_map(move |v| (n, v))
+        });
+        for _ in 0..100 {
+            let (n, v) = s.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn vec_of_strategies_generates_elementwise() {
+        let mut rng = TestRng::new(3);
+        let strategies: Vec<_> = (0..5).map(|i| (i * 10)..(i * 10 + 1)).collect();
+        assert_eq!(strategies.generate(&mut rng), vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_exclusion() {
+        let mut rng = TestRng::new(4);
+        let s = prop_oneof![
+            1 => 0usize..1,
+            3 => 10usize..11,
+        ];
+        let mut saw = [0usize; 2];
+        for _ in 0..400 {
+            match s.generate(&mut rng) {
+                0 => saw[0] += 1,
+                10 => saw[1] += 1,
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        assert!(saw[0] > 0 && saw[1] > saw[0]);
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        let mut a = TestRng::new(super::seed_for("x", 7));
+        let mut b = TestRng::new(super::seed_for("x", 7));
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro pipeline itself: generation, assumptions, assertions.
+        #[test]
+        fn macro_pipeline_works(a in 0u64..50, b in 1u64..50) {
+            prop_assume!(a != b);
+            prop_assert!(a < 50 && b < 50);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failing inputs")]
+    fn failures_report_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

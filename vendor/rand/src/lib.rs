@@ -1,0 +1,185 @@
+//! Minimal offline stand-in for the `rand` crate (0.9-style API).
+//!
+//! Provides exactly the surface this workspace uses: the [`RngCore`] /
+//! [`Rng`] / [`SeedableRng`] traits and uniform sampling over half-open
+//! and inclusive integer ranges and half-open `f64` ranges via
+//! [`Rng::random_range`]. Generators (e.g. `ChaCha8Rng`) live in their
+//! own vendored crates and implement [`RngCore`] + [`SeedableRng`].
+//!
+//! The integer sampler uses widening-multiply rejection (Lemire), so it
+//! is unbiased; the `f64` sampler uses the standard 53-bit mantissa
+//! construction over `[0, 1)`. Streams are deterministic per generator
+//! but are **not** bit-compatible with the upstream `rand` crate —
+//! everything downstream of this workspace regenerates its fixtures
+//! from these streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core source of randomness: 32/64-bit uniform words.
+pub trait RngCore {
+    /// Next uniform `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next uniform `u64` (defaults to two `u32` draws, low word first).
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (half-open `a..b` or inclusive
+    /// `a..=b`). Panics if the range is empty.
+    fn random_range<T, R2: SampleRange<T>>(&mut self, range: R2) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_uniform(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seeding interface; only the `seed_from_u64` entry point is used here.
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed, expanded internally.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that knows how to sample a uniform value of `T` from an RNG.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample. Panics on an empty range.
+    fn sample_uniform<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased integer in `[0, bound)` via widening-multiply rejection.
+fn uniform_below<R: RngCore>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound == 1 {
+        return 0;
+    }
+    // Lemire's method: accept unless the low product word lands in the
+    // biased zone `[0, 2^64 mod bound)`.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let wide = (x as u128) * (bound as u128);
+        if (wide as u64) >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_uniform<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = uniform_below(rng, span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_uniform<R: RngCore>(self, rng: &mut R) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "cannot sample empty range");
+                let span = (b as i128 - a as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full-width range: a raw draw is already uniform.
+                    return rng.next_u64() as $t;
+                }
+                let off = uniform_below(rng, span as u64);
+                (a as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_uniform<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 uniform mantissa bits -> [0, 1), then affine map.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_uniform<R: RngCore>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct StepRng(u64);
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 so every test value differs.
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StepRng(1);
+        for _ in 0..2000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+            let x = rng.random_range(2u32..=4);
+            assert!((2..=4).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds_and_varies() {
+        let mut rng = StepRng(2);
+        let draws: Vec<f64> = (0..100).map(|_| rng.random_range(-1.0..1.0)).collect();
+        assert!(draws.iter().all(|v| (-1.0..1.0).contains(v)));
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn int_range_hits_every_value() {
+        let mut rng = StepRng(3);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn single_value_ranges() {
+        let mut rng = StepRng(4);
+        assert_eq!(rng.random_range(7usize..8), 7);
+        assert_eq!(rng.random_range(7usize..=7), 7);
+    }
+}

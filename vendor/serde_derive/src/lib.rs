@@ -1,0 +1,385 @@
+//! Minimal offline stand-in for `serde_derive`: dependency-free
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The generated impls target the vendored `serde` crate's value-tree
+//! model (`to_value` / `from_value`), not upstream serde's visitor API.
+//! Input is parsed directly from the `proc_macro` token stream (no
+//! `syn`/`quote`), which is sufficient for the shapes this workspace
+//! declares: named-field structs (optionally with plain type parameters
+//! like `Grid<T>`) and enums with unit, newtype, and struct variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Advance past any `#[...]` attributes (including doc comments).
+fn skip_attrs(tts: &[TokenTree], i: &mut usize) {
+    while *i < tts.len() && is_punct(&tts[*i], '#') {
+        *i += 1;
+        if *i < tts.len()
+            && matches!(&tts[*i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advance past `pub` / `pub(crate)` etc.
+fn skip_visibility(tts: &[TokenTree], i: &mut usize) {
+    if *i < tts.len() && matches!(&tts[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if *i < tts.len()
+            && matches!(&tts[*i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tts: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match tts.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Parse `<...>` after the type name, returning the parameter names.
+fn parse_generics(tts: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if *i >= tts.len() || !is_punct(&tts[*i], '<') {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut taken = false; // first ident of the current parameter captured?
+    let mut in_lifetime = false;
+    while *i < tts.len() {
+        match &tts[*i] {
+            t if is_punct(t, '<') => depth += 1,
+            t if is_punct(t, '>') => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    return params;
+                }
+            }
+            t if is_punct(t, ',') && depth == 1 => taken = false,
+            t if is_punct(t, '\'') => in_lifetime = true,
+            TokenTree::Ident(id) => {
+                if in_lifetime {
+                    in_lifetime = false;
+                } else if !taken && depth == 1 {
+                    params.push(id.to_string());
+                    taken = true;
+                }
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    panic!("serde derive: unterminated generic parameter list");
+}
+
+/// Parse the named fields of a struct body or struct-variant body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tts: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tts.len() {
+        skip_attrs(&tts, &mut i);
+        if i >= tts.len() {
+            break;
+        }
+        skip_visibility(&tts, &mut i);
+        let name = expect_ident(&tts, &mut i, "field name");
+        assert!(
+            i < tts.len() && is_punct(&tts[i], ':'),
+            "serde derive: expected `:` after field `{name}` (tuple structs unsupported)"
+        );
+        i += 1;
+        // Skip the type: everything up to the next comma at angle-depth 0.
+        let mut depth = 0i32;
+        while i < tts.len() {
+            if is_punct(&tts[i], '<') {
+                depth += 1;
+            } else if is_punct(&tts[i], '>') {
+                depth -= 1;
+            } else if is_punct(&tts[i], ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tts: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tts.len() {
+        skip_attrs(&tts, &mut i);
+        if i >= tts.len() {
+            break;
+        }
+        let name = expect_ident(&tts, &mut i, "variant name");
+        let kind = match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        while i < tts.len() && !is_punct(&tts[i], ',') {
+            i += 1;
+        }
+        if i < tts.len() {
+            i += 1; // consume the comma
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tts: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tts, &mut i);
+    skip_visibility(&tts, &mut i);
+    let kind = expect_ident(&tts, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&tts, &mut i, "type name");
+    let generics = parse_generics(&tts, &mut i);
+    // Skip an optional where clause: scan forward to the brace body.
+    let body = loop {
+        match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => panic!("serde derive: type `{name}` has no braced body"),
+        }
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body)),
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    };
+    Input {
+        name,
+        generics,
+        shape,
+    }
+}
+
+/// `impl<T: <bound>> <trait_path> for Name<T>` header.
+fn impl_header(input: &Input, trait_path: &str) -> String {
+    if input.generics.is_empty() {
+        format!("impl {trait_path} for {}", input.name)
+    } else {
+        let bounded: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {trait_path}"))
+            .collect();
+        format!(
+            "impl<{}> {trait_path} for {}<{}>",
+            bounded.join(", "),
+            input.name,
+            input.generics.join(", ")
+        )
+    }
+}
+
+fn obj_literal(entries: &[String]) -> String {
+    if entries.is_empty() {
+        "::serde::Value::Obj(::std::vec::Vec::new())".to_string()
+    } else {
+        format!(
+            "::serde::Value::Obj(::std::vec::Vec::from([{}]))",
+            entries.join(", ")
+        )
+    }
+}
+
+fn entry(key: &str, value_expr: &str) -> String {
+    format!("(::std::string::String::from(\"{key}\"), {value_expr})")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let header = impl_header(&input, "::serde::Serialize");
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| entry(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+                .collect();
+            obj_literal(&entries)
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => format!(
+                        "Self::{0} => ::serde::Value::Str(::std::string::String::from(\"{0}\")),",
+                        v.name
+                    ),
+                    VariantKind::Newtype => format!(
+                        "Self::{0}(__f0) => {1},",
+                        v.name,
+                        obj_literal(&[entry(&v.name, "::serde::Serialize::to_value(__f0)")])
+                    ),
+                    VariantKind::Struct(fields) => {
+                        let inner: Vec<String> = fields
+                            .iter()
+                            .map(|f| entry(f, &format!("::serde::Serialize::to_value({f})")))
+                            .collect();
+                        format!(
+                            "Self::{0} {{ {1} }} => {2},",
+                            v.name,
+                            fields.join(", "),
+                            obj_literal(&[entry(&v.name, &obj_literal(&inner))])
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let code = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         {header} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+    code.parse()
+        .expect("serde derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let header = impl_header(&input, "::serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__v, \"{name}\", \"{f}\")?,"))
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(" "))
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => return ::std::result::Result::Ok(Self::{0}),",
+                        v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Newtype => Some(format!(
+                        "\"{0}\" => return ::std::result::Result::Ok(Self::{0}(\
+                         ::serde::Deserialize::from_value(__inner)?)),",
+                        v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::__field(__inner, \"{name}::{0}\", \"{f}\")?,",
+                                    v.name
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{0}\" => return ::std::result::Result::Ok(Self::{0} {{ {1} }}),",
+                            v.name,
+                            inits.join(" ")
+                        ))
+                    }
+                })
+                .collect();
+            let mut code = String::new();
+            if !unit_arms.is_empty() {
+                code.push_str(&format!(
+                    "if let ::serde::Value::Str(__s) = __v {{\n\
+                         match __s.as_str() {{ {} _ => {{}} }}\n\
+                     }}\n",
+                    unit_arms.join(" ")
+                ));
+            }
+            if !data_arms.is_empty() {
+                code.push_str(&format!(
+                    "if let ::serde::Value::Obj(__entries) = __v {{\n\
+                         if __entries.len() == 1 {{\n\
+                             let (__k, __inner) = &__entries[0];\n\
+                             match __k.as_str() {{ {} _ => {{}} }}\n\
+                         }}\n\
+                     }}\n",
+                    data_arms.join(" ")
+                ));
+            }
+            code.push_str(&format!(
+                "::std::result::Result::Err(::serde::Error::custom(\
+                 \"unrecognized variant for enum {name}\"))"
+            ));
+            code
+        }
+    };
+    let code = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         {header} {{\n\
+             fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+    code.parse()
+        .expect("serde derive: generated Deserialize impl parses")
+}
