@@ -22,4 +22,18 @@ cargo test -q
 echo "== full workspace tests =="
 cargo test -q --workspace
 
+echo "== harness self-timing (4 threads, output-identity gate) =="
+# Regenerates BENCH_harness.json at reduced scale. The gate is output
+# identity only: a phase reporting identical_output=false means the
+# parallel harness changed program output, which is a correctness bug.
+# Speedups are reported but not gated — CI hosts are often throttled or
+# single-core, where wall-clock speedup is noise.
+./target/release/repro --reduced --timing --threads 4 timing > /dev/null
+if grep -q '"identical_output": false' BENCH_harness.json; then
+  echo "FAIL: a parallel harness phase diverged from its sequential output" >&2
+  grep -B4 '"identical_output": false' BENCH_harness.json >&2
+  exit 1
+fi
+echo "all phases identical_output=true"
+
 echo "CI OK"

@@ -618,10 +618,12 @@ impl Experiments {
         }
     }
 
-    /// Every table, in paper order. Generated across all host processors;
-    /// identical output to generating them one at a time.
+    /// Every table, in paper order. Generated across all host processors
+    /// (on the persistent worker pool — table generation is far too short
+    /// to amortize per-region thread spawns); identical output to
+    /// generating them one at a time.
     pub fn all_tables(&self) -> Vec<Table> {
-        self.all_tables_with_threads(ThreadPool::host().n_threads())
+        self.all_tables_with_threads(ThreadPool::global().n_threads())
     }
 
     /// [`Experiments::all_tables`] with an explicit worker count.

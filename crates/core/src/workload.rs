@@ -110,10 +110,12 @@ enum Measured {
 impl Workload {
     /// Measure the workload at `scale` (runs every benchmark variant under
     /// the counting backend; seconds of host time at Paper scale).
-    /// Measurement tasks run across all host processors with dynamic
-    /// self-scheduling; results are identical to the sequential path.
+    /// Measurement tasks run across all host processors — on the
+    /// process-wide persistent pool, so back-to-back builds pay condvar
+    /// wakeups rather than thread spawns — with dynamic self-scheduling;
+    /// results are identical to the sequential path.
     pub fn build(scale: WorkloadScale) -> Self {
-        Self::build_with(scale, ThreadPool::host().n_threads(), Schedule::Dynamic)
+        Self::build_with(scale, ThreadPool::global().n_threads(), Schedule::Dynamic)
     }
 
     /// [`Workload::build`] with an explicit worker count and schedule.

@@ -457,7 +457,9 @@ pub fn measure_utilization(cfg: MtaConfig, n_workers: usize, iters: i64, alu_per
 /// Each sweep point is an independent simulation on its own fresh
 /// [`Machine`], so the points run concurrently with dynamic
 /// self-scheduling (cycle counts grow with the stream count, making the
-/// work irregular — the paper's own argument for self-scheduled loops).
+/// work irregular — the paper's own argument for self-scheduled loops)
+/// on sthreads' persistent worker pool, so repeated sweeps reuse parked
+/// workers instead of spawning threads.
 /// Results are in `streams` order and identical to calling
 /// [`measure_utilization`] sequentially: the simulator is deterministic
 /// and shares no state between points.

@@ -142,6 +142,11 @@ fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
 /// Run every parallelized harness phase sequentially and in parallel,
 /// check bit-identity, and write `BENCH_harness.json`.
 fn timing_report(scale: WorkloadScale, n_threads: usize) -> String {
+    // Pre-spawn the persistent pool's workers so the parallel timings
+    // measure steady-state dispatch (wakeups), not one-time thread
+    // creation — the paper's own distinction between stream creation and
+    // CreateThread (§7).
+    ThreadPool::global().warm(n_threads);
     let mut phases = Vec::new();
     let mut record = |phase: &str, seq: f64, par: f64, identical: bool| {
         phases.push(PhaseTiming {
@@ -207,7 +212,7 @@ fn main() {
     let opts = parse_args();
     let n_threads = opts
         .n_threads
-        .unwrap_or_else(|| ThreadPool::host().n_threads());
+        .unwrap_or_else(|| ThreadPool::global().n_threads());
     let mut out = String::new();
 
     eprintln!(

@@ -24,8 +24,12 @@
 //! Two "backends" exist:
 //!
 //! * the **host backend** (this module's default entry points) runs the
-//!   structures on real OS threads, so benchmark parallelizations can be
-//!   checked for correctness and measured with Criterion on the host, and
+//!   structures on real OS threads — parallel regions execute on a
+//!   persistent, process-wide worker pool ([`ThreadPool::global`]) whose
+//!   workers are parked between regions, so a region costs condvar
+//!   wakeups rather than thread spawns — letting benchmark
+//!   parallelizations be checked for correctness and measured with
+//!   Criterion on the host, and
 //! * the **counting backend** ([`counting`]) runs the same logical thread
 //!   structure while recording abstract operation counts per logical
 //!   thread; those counts feed the calibrated machine models in

@@ -95,8 +95,9 @@ impl ParFor {
     ///
     /// On the Tera MTA the paper runs 8–256 chunks on 2 processors
     /// (Table 6): the chunk count controls how many logical threads exist,
-    /// the machine decides how they map to hardware streams. Chunks are
-    /// assigned to workers round-robin.
+    /// the machine decides how they map to hardware streams. Each worker
+    /// executes a contiguous block of chunks, so its iterations form one
+    /// contiguous index run regardless of the chunk count.
     pub fn chunk_count(mut self, n: usize) -> Self {
         assert!(n > 0, "ParFor: need at least one chunk");
         self.n_chunks = Some(n);
@@ -141,8 +142,13 @@ impl ParFor {
         }
     }
 
-    /// Run `body(chunk_bounds)` once per static chunk, chunks distributed
-    /// round-robin over workers. This is the exact shape of Program 2.
+    /// Run `body(chunk_bounds)` once per static chunk, each worker owning
+    /// a **contiguous block** of chunks. This is the exact shape of
+    /// Program 2: because chunks partition the index range in order, a
+    /// contiguous block of chunks is a contiguous run of iterations — the
+    /// cache-locality rationale for static scheduling on the conventional
+    /// SMPs. (Round-robin chunk assignment would stride each worker across
+    /// the whole range and defeat it.)
     pub fn run_chunked<F>(&self, body: F)
     where
         F: Fn(ChunkBounds) + Sync,
@@ -150,7 +156,7 @@ impl ParFor {
         let chunks = self.chunks();
         let n_threads = self.n_threads.min(chunks.len().max(1));
         scope_threads(n_threads, |t| {
-            for c in chunks.iter().skip(t).step_by(n_threads) {
+            for c in &chunks[crate::chunk_range(t, chunks.len(), n_threads)] {
                 body(*c);
             }
         });
@@ -172,11 +178,64 @@ impl ParFor {
         F: Fn(usize) + Sync,
     {
         let queue = WorkQueue::new(self.range.clone());
-        scope_threads(self.n_threads, |_| {
-            while let Some(i) = queue.next() {
-                body(i);
+        let n_threads = self.n_threads;
+        // Batched self-scheduling with an adaptive grain: claim ~1/8 of a
+        // fair share per fetch_add while work is plentiful, decaying to
+        // single-index claims near the end so load balance stays as good
+        // as the paper's "next unprocessed threat" loop.
+        let grain = |remaining: usize| (remaining / (8 * n_threads)).max(1);
+        scope_threads(n_threads, |_| {
+            while let Some(batch) = queue.next_batch(grain(queue.remaining())) {
+                for i in batch {
+                    body(i);
+                }
             }
         });
+    }
+}
+
+/// A vector of write-once result slots shared across a parallel region.
+///
+/// Each slot is written exactly once (by whichever worker claims that
+/// index) and read only after the region has completed, so no per-slot
+/// lock is needed; the pool's region-exit handshake provides the
+/// release/acquire ordering that makes the writes visible to the caller.
+struct ResultSlots<T> {
+    slots: Vec<std::cell::UnsafeCell<std::mem::MaybeUninit<T>>>,
+}
+
+// SAFETY: distinct indices are written by distinct workers with no
+// aliasing (the loop schedules dispense each index exactly once), and the
+// caller only reads after the region's completion handshake.
+unsafe impl<T: Send> Sync for ResultSlots<T> {}
+
+impl<T> ResultSlots<T> {
+    fn new(n: usize) -> Self {
+        Self {
+            slots: (0..n)
+                .map(|_| std::cell::UnsafeCell::new(std::mem::MaybeUninit::uninit()))
+                .collect(),
+        }
+    }
+
+    /// Write slot `i`.
+    ///
+    /// SAFETY (caller): index `i` must be written at most once across the
+    /// whole region, with no concurrent access to the same slot.
+    unsafe fn write(&self, i: usize, value: T) {
+        (*self.slots[i].get()).write(value);
+    }
+
+    /// Consume the slots into a plain vector.
+    ///
+    /// SAFETY (caller): every slot must have been initialized. If a region
+    /// panics mid-flight the slots are instead dropped as `MaybeUninit`,
+    /// which leaks any written values but is never undefined behaviour.
+    unsafe fn into_vec(self) -> Vec<T> {
+        self.slots
+            .into_iter()
+            .map(|c| c.into_inner().assume_init())
+            .collect()
     }
 }
 
@@ -197,19 +256,17 @@ where
     if n_threads <= 1 || n_tasks <= 1 {
         return (0..n_tasks).map(f).collect();
     }
-    let slots: Vec<parking_lot::Mutex<Option<T>>> = (0..n_tasks)
-        .map(|_| parking_lot::Mutex::new(None))
-        .collect();
+    let slots = ResultSlots::new(n_tasks);
     multithreaded_for(0..n_tasks, n_threads, schedule, |i| {
-        *slots[i].lock() = Some(f(i));
+        // SAFETY: both schedules dispense each index to exactly one
+        // worker, so slot `i` has exactly one writer and no reader until
+        // the region completes.
+        unsafe { slots.write(i, f(i)) };
     });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("multithreaded_for visits each index once")
-        })
-        .collect()
+    // SAFETY: the loop above visited every index in 0..n_tasks exactly
+    // once (the invariant the schedule tests and the parallel oracle
+    // enforce), so every slot is initialized.
+    unsafe { slots.into_vec() }
 }
 
 #[cfg(test)]
@@ -299,22 +356,37 @@ mod tests {
 
     #[test]
     fn static_chunks_are_contiguous_per_worker() {
-        // With Static and chunk_count == threads, each worker sees one
-        // contiguous run — record (index -> thread) and check runs.
-        let owner: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(u32::MAX)).collect();
-        let pf = ParFor::new(0..100).threads(4);
-        pf.run_chunked(|c| {
-            for o in &owner[c.first..c.end] {
-                o.store(c.chunk as u32, Ordering::SeqCst);
+        // Each worker's iterations must form one contiguous run of the
+        // index space — the cache-locality contract of static scheduling.
+        // Record which OS thread executed every index and count ownership
+        // runs; round-robin chunk assignment would produce `n_chunks`
+        // runs, contiguous block assignment exactly `n_threads`.
+        for (n_threads, n_chunks) in [(4, 4), (4, 16), (3, 7), (2, 256)] {
+            let owner = parking_lot::Mutex::new(vec![None; 1000]);
+            ParFor::new(0..1000)
+                .threads(n_threads)
+                .chunk_count(n_chunks)
+                .run_chunked(|c| {
+                    let me = std::thread::current().id();
+                    let mut owner = owner.lock();
+                    for slot in &mut owner[c.first..c.end] {
+                        assert!(slot.is_none(), "index written twice");
+                        *slot = Some(me);
+                    }
+                });
+            let owners = owner.into_inner();
+            assert!(owners.iter().all(|o| o.is_some()));
+            let mut runs = 1;
+            for w in owners.windows(2) {
+                if w[0] != w[1] {
+                    runs += 1;
+                }
             }
-        });
-        let owners: Vec<u32> = owner.iter().map(|o| o.load(Ordering::SeqCst)).collect();
-        let mut runs = 1;
-        for w in owners.windows(2) {
-            if w[0] != w[1] {
-                runs += 1;
-            }
+            assert_eq!(
+                runs, n_threads,
+                "{n_threads} threads x {n_chunks} chunks: each worker must \
+                 own one contiguous block"
+            );
         }
-        assert_eq!(runs, 4);
     }
 }

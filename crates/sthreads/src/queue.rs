@@ -27,13 +27,36 @@ impl WorkQueue {
 
     /// Claim the next unprocessed index, or `None` when the range is
     /// exhausted. Each index is returned to exactly one caller.
+    /// Equivalent to [`WorkQueue::next_batch`] with `k == 1`.
     pub fn next(&self) -> Option<usize> {
+        self.next_batch(1).map(|r| r.start)
+    }
+
+    /// Claim the next up-to-`k` unprocessed indices in one atomic
+    /// operation, returning the claimed sub-range, or `None` when the
+    /// range is exhausted. Every index is dispensed to exactly one caller
+    /// across any mix of batch sizes; the final batch is truncated at the
+    /// range end.
+    ///
+    /// Batching is the self-scheduling overhead lever: one `fetch_add`
+    /// claims `k` iterations, so the shared counter's cache line is
+    /// touched once per batch instead of once per iteration. Panics if
+    /// `k == 0`.
+    pub fn next_batch(&self, k: usize) -> Option<std::ops::Range<usize>> {
+        assert!(k > 0, "WorkQueue::next_batch: batch size must be > 0");
         // fetch_add then range-check: overshoot past `end` is harmless
-        // because overshooting claims map to None. Relaxed suffices — the
-        // queue only hands out indices; the caller's own work provides any
-        // data ordering it needs.
-        let i = self.next.fetch_add(1, Ordering::Relaxed);
-        (i < self.end).then_some(i)
+        // because overshooting claims map to None and each caller stops
+        // after its first None. Relaxed suffices — the queue only hands
+        // out indices; the caller's own work provides any data ordering
+        // it needs.
+        let i = self.next.fetch_add(k, Ordering::Relaxed);
+        (i < self.end).then(|| i..self.end.min(i.saturating_add(k)))
+    }
+
+    /// How many indices are still unclaimed (saturating at zero once
+    /// claimants have overshot the end).
+    pub fn remaining(&self) -> usize {
+        self.end.saturating_sub(self.next.load(Ordering::Relaxed))
     }
 
     /// How many indices have been claimed so far (saturating at range len).
@@ -80,6 +103,48 @@ mod tests {
                     let mut local = Vec::new();
                     while let Some(i) = q.next() {
                         local.push(i);
+                    }
+                    let mut set = seen.lock().unwrap();
+                    for i in local {
+                        assert!(set.insert(i), "index {i} claimed twice");
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len(), 10_000);
+    }
+
+    #[test]
+    fn next_batch_partitions_the_range() {
+        let q = WorkQueue::new(2..12);
+        assert_eq!(q.next_batch(4), Some(2..6));
+        assert_eq!(q.remaining(), 6);
+        assert_eq!(q.next_batch(4), Some(6..10));
+        // Final batch truncates at the range end.
+        assert_eq!(q.next_batch(4), Some(10..12));
+        assert_eq!(q.next_batch(4), None);
+        assert_eq!(q.remaining(), 0);
+        assert!(q.is_exhausted());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be > 0")]
+    fn next_batch_rejects_zero() {
+        WorkQueue::new(0..4).next_batch(0);
+    }
+
+    #[test]
+    fn concurrent_mixed_batches_are_disjoint_and_complete() {
+        let q = WorkQueue::new(0..10_000);
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            let (q, seen) = (&q, &seen);
+            for w in 0..8usize {
+                let k = [1, 3, 7, 16][w % 4];
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    while let Some(r) = q.next_batch(k) {
+                        local.extend(r);
                     }
                     let mut set = seen.lock().unwrap();
                     for i in local {

@@ -79,6 +79,57 @@ proptest! {
         prop_assert!(q.is_exhausted());
     }
 
+    /// WorkQueue::next_batch dispenses every index exactly once for any
+    /// batch size, truncating (never overshooting) at the range end.
+    #[test]
+    fn work_queue_batches_partition(start in 0usize..500, len in 0usize..2000, k in 1usize..40) {
+        let q = WorkQueue::new(start..start + len);
+        let mut got = Vec::new();
+        while let Some(r) = q.next_batch(k) {
+            prop_assert!(r.start >= start && r.end <= start + len, "batch {r:?} out of range");
+            prop_assert!(r.len() <= k, "batch longer than requested");
+            got.extend(r);
+        }
+        prop_assert_eq!(got, (start..start + len).collect::<Vec<_>>());
+        prop_assert!(q.is_exhausted());
+        prop_assert_eq!(q.remaining(), 0);
+    }
+
+    /// Concurrent draining with mixed batch sizes claims each index
+    /// exactly once, for arbitrary thread counts.
+    #[test]
+    fn work_queue_batches_concurrent(len in 0usize..3000, threads in 1usize..9, k in 1usize..40) {
+        let q = WorkQueue::new(0..len);
+        let hits: Vec<AtomicU64> = (0..len).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|s| {
+            let (q, hits) = (&q, &hits);
+            for t in 0..threads {
+                // Half the workers use batch k, half single claims, so
+                // mixed grains race on the same counter.
+                let k = if t % 2 == 0 { k } else { 1 };
+                s.spawn(move || {
+                    while let Some(r) = q.next_batch(k) {
+                        for i in r {
+                            hits[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    /// The dynamic schedule's batched claiming still visits each index
+    /// exactly once on the persistent pool, for arbitrary widths.
+    #[test]
+    fn batched_dynamic_par_for_visits_each_index_once(n in 0usize..4000, threads in 1usize..9) {
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        multithreaded_for(0..n, threads, Schedule::Dynamic, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
     /// SyncVar sequential write/take round-trips any sequence of values.
     #[test]
     fn syncvar_round_trips(values in proptest::collection::vec(any::<i64>(), 0..50)) {
