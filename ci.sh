@@ -22,18 +22,23 @@ cargo test -q
 echo "== full workspace tests =="
 cargo test -q --workspace
 
-echo "== harness self-timing (4 threads, output-identity gate) =="
-# Regenerates BENCH_harness.json at reduced scale. The gate is output
-# identity only: a phase reporting identical_output=false means the
-# parallel harness changed program output, which is a correctness bug.
-# Speedups are reported but not gated — CI hosts are often throttled or
-# single-core, where wall-clock speedup is noise.
+echo "== harness self-timing (4 threads) =="
+# The tier-1 release build above only covers the root package (the
+# workspace root is itself a package), so build the harness CLI
+# explicitly before invoking it.
+cargo build --release -p repro
+# Regenerates BENCH_harness.json at reduced scale with the per-phase
+# dispatch/imbalance/useful-work breakdown.
 ./target/release/repro --reduced --timing --threads 4 timing > /dev/null
-if grep -q '"identical_output": false' BENCH_harness.json; then
-  echo "FAIL: a parallel harness phase diverged from its sequential output" >&2
-  grep -B4 '"identical_output": false' BENCH_harness.json >&2
-  exit 1
-fi
-echo "all phases identical_output=true"
+
+echo "== harness regression gate (schema + identity + table-gen speedup) =="
+# `repro --gate` parses the report against the extended schema (every
+# phase must carry a breakdown), fails if any phase's parallel output
+# diverged from sequential, and fails if the table-generation phase fell
+# below the 0.95x speedup gate. That last check is robust on throttled or
+# single-core CI hosts *because* of par_map's measured sequential cutoff:
+# when parallelism cannot pay for its own dispatch, the phase runs
+# sequentially and the ratio sits at ~1.0 instead of regressing.
+./target/release/repro --gate BENCH_harness.json
 
 echo "CI OK"

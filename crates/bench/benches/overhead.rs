@@ -8,11 +8,17 @@
 //!   pool's wakeup handshake shows up here first.
 //! * `dispatch_overhead` — `par_map` of trivial (~ns) vs substantial
 //!   (~100 µs) tasks, so both the per-task cost floor and the amortized
-//!   steady state stay visible in the perf trajectory.
+//!   steady state stay visible in the perf trajectory. `par_map` now
+//!   takes the measured sequential cutoff for sub-floor work, so the
+//!   `raw_dispatch` variants pin `serial_cutoff(false)` to keep the real
+//!   pool dispatch path on the record, and the `timing_on` variant bounds
+//!   the cost of the `sthreads::stats` nano-timing tier (the always-on
+//!   counter tier is exercised by every other entry here — its budget is
+//!   the ≤2% drift acceptance on this group).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use sthreads::{par_map, scope_threads, Schedule, ThreadPool};
+use sthreads::{par_map, scope_threads, stats, ParFor, Schedule, ThreadPool};
 
 const REGION_WIDTH: usize = 4;
 
@@ -74,7 +80,32 @@ fn bench_dispatch_overhead(c: &mut Criterion) {
         g.bench_function(format!("par_map_100us_16_tasks_{schedule:?}"), |b| {
             b.iter(|| par_map(16, REGION_WIDTH, schedule, busy_task))
         });
+        // The pool's dispatch path with the cutoff pinned off: what a
+        // trivial-task region costs when it really goes parallel. This is
+        // the number the cutoff's measured floor protects callers from.
+        g.bench_function(
+            format!("raw_dispatch_trivial_256_tasks_{schedule:?}"),
+            |b| {
+                b.iter(|| {
+                    ParFor::new(0..256)
+                        .threads(REGION_WIDTH)
+                        .schedule(schedule)
+                        .serial_cutoff(false)
+                        .run(|i| {
+                            black_box(i as u64 * 3 + 1);
+                        })
+                })
+            },
+        );
     }
+    // The nano-timing tier (clock reads around every job + region
+    // aggregation) on the substantial-task shape; compare against
+    // par_map_100us_16_tasks_Static to see its cost.
+    g.bench_function("par_map_100us_16_tasks_Static_timing_on", |b| {
+        stats::set_timing(true);
+        b.iter(|| par_map(16, REGION_WIDTH, Schedule::Static, busy_task));
+        stats::set_timing(false);
+    });
     g.finish();
 }
 

@@ -48,29 +48,95 @@ pub enum CacheStatus {
     Disabled,
 }
 
-/// Sources the measured numbers depend on, embedded at compile time.
-/// Order matters only for fingerprint stability within one build.
-const MEASUREMENT_SOURCES: &[&str] = &[
-    include_str!("workload.rs"),
-    include_str!("calibrate.rs"),
-    include_str!("models.rs"),
-    include_str!("../../c3i/src/threat/mod.rs"),
-    include_str!("../../c3i/src/threat/model.rs"),
-    include_str!("../../c3i/src/threat/scenario.rs"),
-    include_str!("../../c3i/src/threat/engagement.rs"),
-    include_str!("../../c3i/src/threat/sequential.rs"),
-    include_str!("../../c3i/src/threat/chunked.rs"),
-    include_str!("../../c3i/src/threat/fine.rs"),
-    include_str!("../../c3i/src/terrain/mod.rs"),
-    include_str!("../../c3i/src/terrain/scenario.rs"),
-    include_str!("../../c3i/src/terrain/los.rs"),
-    include_str!("../../c3i/src/terrain/exact.rs"),
-    include_str!("../../c3i/src/terrain/sequential.rs"),
-    include_str!("../../c3i/src/terrain/coarse.rs"),
-    include_str!("../../c3i/src/terrain/fine.rs"),
-    include_str!("../../c3i/src/grid.rs"),
-    include_str!("../../c3i/src/counts.rs"),
-    include_str!("../../sthreads/src/counting.rs"),
+/// Sources the measured numbers depend on, embedded at compile time as
+/// `(crates-relative path, content)` pairs. The path is hashed with the
+/// content (so moves invalidate too) and lets the coverage test map each
+/// entry back to the file on disk. The whole `c3i` crate is included —
+/// over-inclusion only re-measures, under-inclusion trusts stale numbers.
+const MEASUREMENT_SOURCES: &[(&str, &str)] = &[
+    ("core/src/workload.rs", include_str!("workload.rs")),
+    ("core/src/calibrate.rs", include_str!("calibrate.rs")),
+    ("core/src/models.rs", include_str!("models.rs")),
+    ("c3i/src/lib.rs", include_str!("../../c3i/src/lib.rs")),
+    ("c3i/src/io.rs", include_str!("../../c3i/src/io.rs")),
+    ("c3i/src/grid.rs", include_str!("../../c3i/src/grid.rs")),
+    ("c3i/src/counts.rs", include_str!("../../c3i/src/counts.rs")),
+    (
+        "c3i/src/threat/mod.rs",
+        include_str!("../../c3i/src/threat/mod.rs"),
+    ),
+    (
+        "c3i/src/threat/model.rs",
+        include_str!("../../c3i/src/threat/model.rs"),
+    ),
+    (
+        "c3i/src/threat/scenario.rs",
+        include_str!("../../c3i/src/threat/scenario.rs"),
+    ),
+    (
+        "c3i/src/threat/engagement.rs",
+        include_str!("../../c3i/src/threat/engagement.rs"),
+    ),
+    (
+        "c3i/src/threat/sequential.rs",
+        include_str!("../../c3i/src/threat/sequential.rs"),
+    ),
+    (
+        "c3i/src/threat/chunked.rs",
+        include_str!("../../c3i/src/threat/chunked.rs"),
+    ),
+    (
+        "c3i/src/threat/fine.rs",
+        include_str!("../../c3i/src/threat/fine.rs"),
+    ),
+    (
+        "c3i/src/threat/verify.rs",
+        include_str!("../../c3i/src/threat/verify.rs"),
+    ),
+    (
+        "c3i/src/terrain/mod.rs",
+        include_str!("../../c3i/src/terrain/mod.rs"),
+    ),
+    (
+        "c3i/src/terrain/scenario.rs",
+        include_str!("../../c3i/src/terrain/scenario.rs"),
+    ),
+    (
+        "c3i/src/terrain/los.rs",
+        include_str!("../../c3i/src/terrain/los.rs"),
+    ),
+    (
+        "c3i/src/terrain/exact.rs",
+        include_str!("../../c3i/src/terrain/exact.rs"),
+    ),
+    (
+        "c3i/src/terrain/sequential.rs",
+        include_str!("../../c3i/src/terrain/sequential.rs"),
+    ),
+    (
+        "c3i/src/terrain/coarse.rs",
+        include_str!("../../c3i/src/terrain/coarse.rs"),
+    ),
+    (
+        "c3i/src/terrain/fine.rs",
+        include_str!("../../c3i/src/terrain/fine.rs"),
+    ),
+    (
+        "c3i/src/terrain/route.rs",
+        include_str!("../../c3i/src/terrain/route.rs"),
+    ),
+    (
+        "c3i/src/terrain/render.rs",
+        include_str!("../../c3i/src/terrain/render.rs"),
+    ),
+    (
+        "c3i/src/terrain/verify.rs",
+        include_str!("../../c3i/src/terrain/verify.rs"),
+    ),
+    (
+        "sthreads/src/counting.rs",
+        include_str!("../../sthreads/src/counting.rs"),
+    ),
 ];
 
 /// FNV-1a hash (64-bit, hex) over every measurement-defining source file.
@@ -78,8 +144,8 @@ const MEASUREMENT_SOURCES: &[&str] = &[
 /// code, which is exactly the condition for sharing snapshots.
 pub fn code_fingerprint() -> String {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for src in MEASUREMENT_SOURCES {
-        for b in src.bytes() {
+    for (path, src) in MEASUREMENT_SOURCES {
+        for b in path.bytes().chain(src.bytes()) {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
@@ -216,6 +282,73 @@ mod tests {
         let (_, _, status) = load_or_measure_in(&dir, WorkloadScale::Reduced, true);
         assert_eq!(status, CacheStatus::Hit);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_snapshot_is_remeasured() {
+        // A crash (or full disk) mid-write outside the atomic-rename path
+        // leaves a prefix of valid JSON; it must read as a miss, never a
+        // panic.
+        let dir = scratch_dir();
+        let (_, _, status) = load_or_measure_in(&dir, WorkloadScale::Reduced, true);
+        assert_eq!(status, CacheStatus::Miss);
+        let path = snapshot_path(&dir, WorkloadScale::Reduced);
+        let text = std::fs::read(&path).unwrap();
+        for keep in [0, 1, text.len() / 2, text.len() - 1] {
+            std::fs::write(&path, &text[..keep]).unwrap();
+            let (_, _, status) = load_or_measure_in(&dir, WorkloadScale::Reduced, true);
+            assert_eq!(status, CacheStatus::Miss, "truncated at {keep} bytes");
+        }
+        // Each miss rewrote the snapshot, so the cache self-heals.
+        let (_, _, status) = load_or_measure_in(&dir, WorkloadScale::Reduced, true);
+        assert_eq!(status, CacheStatus::Hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_covers_every_measurement_source_on_disk() {
+        // The measurement chain is workload.rs -> c3i benchmarks ->
+        // sthreads counting backend. Walk the benchmark crate on disk and
+        // require every source file to be embedded, byte-identical — a new
+        // c3i file that silently isn't fingerprinted would let stale
+        // snapshots survive edits to it.
+        let crates_root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap();
+        let c3i_src = crates_root.join("c3i/src");
+        let mut walk = vec![c3i_src.clone()];
+        let mut checked = 0usize;
+        while let Some(dir) = walk.pop() {
+            for entry in std::fs::read_dir(&dir).unwrap() {
+                let p = entry.unwrap().path();
+                if p.is_dir() {
+                    walk.push(p);
+                } else if p.extension().is_some_and(|e| e == "rs") {
+                    let rel = format!("c3i/src/{}", p.strip_prefix(&c3i_src).unwrap().display());
+                    let embedded = MEASUREMENT_SOURCES
+                        .iter()
+                        .find(|(path, _)| *path == rel)
+                        .unwrap_or_else(|| {
+                            panic!("{rel} is not fingerprinted — add it to MEASUREMENT_SOURCES")
+                        })
+                        .1;
+                    let on_disk = std::fs::read_to_string(&p).unwrap();
+                    assert_eq!(embedded, on_disk, "{rel}: embedded copy differs from disk");
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked >= 18, "walked only {checked} c3i sources");
+        // The measurement-side singletons outside c3i.
+        for must in [
+            "core/src/workload.rs",
+            "core/src/calibrate.rs",
+            "core/src/models.rs",
+            "sthreads/src/counting.rs",
+        ] {
+            assert!(
+                MEASUREMENT_SOURCES.iter().any(|(p, _)| *p == must),
+                "{must} missing from MEASUREMENT_SOURCES"
+            );
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod workload;
 
 pub use cache::{load_or_measure, CacheStatus, Snapshot};
 pub use calibrate::{calibrate, Calibration, PaperAnchors};
-pub use experiments::{Experiments, Figure};
+pub use experiments::{Experiments, Figure, HarnessReport, PhaseBreakdown, PhaseTiming};
 pub use models::{ConventionalModel, TeraModel};
 pub use tables::Table;
 pub use workload::{Workload, WorkloadScale};

@@ -60,8 +60,8 @@ fn main() {
         cfg.clock_mhz,
         r.stats.instructions(),
         100.0 * r.utilization(),
-        r.stats.forks,
-        r.stats.sync_blocks,
+        r.stats.threads.forks,
+        r.stats.sync.blocked,
     );
     if r.deadlocked {
         println!("DEADLOCK: all live streams blocked on full/empty bits");

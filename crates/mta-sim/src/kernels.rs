@@ -551,7 +551,7 @@ mod tests {
         // Each of the values 0..items gains +1 per stage.
         let expected: i64 = (0..items).map(|v| v + stages as i64).sum();
         assert_eq!(m.memory().load(layout.sink_addr) as i64, expected);
-        assert!(r.stats.sync_blocks > 0, "a pipeline must block somewhere");
+        assert!(r.stats.sync.blocked > 0, "a pipeline must block somewhere");
     }
 
     #[test]
@@ -621,7 +621,20 @@ mod tests {
             hot.cycles,
             cold.cycles
         );
-        assert!(hot.stats.bank_queue_cycles > cold.stats.bank_queue_cycles);
+        assert!(hot.stats.memory.bank_queue_cycles > cold.stats.memory.bank_queue_cycles);
+        // The histogram must tell the same story: the hot run's waits land
+        // in the deep buckets, the cold run's almost all in bucket 0.
+        let hot_hist = hot.stats.memory.queue_wait_hist;
+        assert!(
+            hot_hist[3] + hot_hist[4] > 0,
+            "hot-banking must produce deep queue waits: {hot_hist:?}"
+        );
+        assert!(
+            hot.stats.memory.queued_fraction() > cold.stats.memory.queued_fraction(),
+            "hot={} cold={}",
+            hot.stats.memory.queued_fraction(),
+            cold.stats.memory.queued_fraction()
+        );
     }
 
     #[test]

@@ -49,5 +49,7 @@ pub mod processor;
 
 pub use asm::Assembler;
 pub use ir::{Instr, Program, Reg};
-pub use machine::{InstrMix, Machine, MtaConfig, RunResult, RunStats};
-pub use memory::Memory;
+pub use machine::{
+    InstrMix, Machine, MtaConfig, RunResult, SimStats, StreamStats, SyncStats, ThreadStats,
+};
+pub use memory::{MemStats, Memory};

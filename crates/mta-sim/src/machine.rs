@@ -90,29 +90,88 @@ impl Default for MtaConfig {
     }
 }
 
-/// Statistics of one run.
+/// Machine counters of one run, grouped by subsystem.
+///
+/// This is the simulator's analog of `sthreads::stats` on the host: the
+/// paper's architecture-level quantities — issue-slot usage per stream
+/// (§5's 1/21 single-stream ceiling), memory-bank queueing (§4's
+/// interleaving), and full/empty retry traffic (§6's one-instruction
+/// synchronization) — surfaced as structured data instead of a flat bag
+/// of ad-hoc fields.
 #[derive(Debug, Default, Clone, PartialEq)]
-pub struct RunStats {
-    /// Instructions issued, per processor.
-    pub issued_per_processor: Vec<u64>,
-    /// Hardware forks performed.
-    pub forks: u64,
-    /// Logical threads that had to wait for a context (software threads).
-    pub soft_spawns: u64,
-    /// Times a synchronized operation found the wrong full/empty state and
-    /// parked.
-    pub sync_blocks: u64,
-    /// Streams woken by full/empty transitions.
-    pub wakes: u64,
-    /// High-water mark of live streams, per processor.
-    pub peak_live_per_processor: Vec<usize>,
-    /// Total memory accesses and bank queue cycles.
-    pub mem_accesses: u64,
-    /// Cycles accesses spent queued behind busy banks.
-    pub bank_queue_cycles: u64,
+pub struct SimStats {
+    /// Issue-slot accounting per processor and per hardware stream slot.
+    pub streams: StreamStats,
+    /// Thread-creation traffic (hardware forks vs queued software threads).
+    pub threads: ThreadStats,
+    /// Full/empty-bit synchronization traffic.
+    pub sync: SyncStats,
+    /// Memory-system counters, including the bank queue-depth histogram.
+    pub memory: crate::memory::MemStats,
     /// Instructions issued by kind: ALU/branch, plain memory,
     /// synchronized memory, thread control (fork/halt).
     pub mix: InstrMix,
+}
+
+/// Where the machine's issue slots went.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct StreamStats {
+    /// Instructions issued, per processor.
+    pub issued_per_processor: Vec<u64>,
+    /// Instructions issued per hardware stream slot, per processor. A
+    /// slot is reused by successive streams, so this is issue pressure on
+    /// the *context*, the quantity §5's utilization argument is about.
+    pub issued_per_slot: Vec<Vec<u64>>,
+    /// High-water mark of live streams, per processor.
+    pub peak_live_per_processor: Vec<usize>,
+}
+
+impl StreamStats {
+    /// Total instructions issued across processors.
+    pub fn instructions(&self) -> u64 {
+        self.issued_per_processor.iter().sum()
+    }
+
+    /// Per-processor fraction of issue slots used over `cycles`.
+    pub fn issue_slot_utilization(&self, cycles: u64) -> Vec<f64> {
+        self.issued_per_processor
+            .iter()
+            .map(|&n| {
+                if cycles == 0 {
+                    0.0
+                } else {
+                    n as f64 / cycles as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// Thread-creation counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Hardware forks that got a free stream context (few cycles each).
+    pub forks: u64,
+    /// Logical threads that had to queue for a context (software
+    /// threads, `soft_spawn_cost` cycles — the paper's 50–100 cycles).
+    pub soft_spawns: u64,
+}
+
+/// Full/empty-bit synchronization counters. A synchronized operation that
+/// finds the wrong state parks with its pc unchanged and *retries* the
+/// whole instruction when the complementary transition wakes it, so
+/// `blocked` is exactly the full/empty retry count.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Synchronized operations that found the wrong full/empty state and
+    /// parked for retry.
+    pub blocked: u64,
+    /// Streams re-readied by full/empty transitions.
+    pub wakes: u64,
+    /// Woken streams whose retry found the wrong state *again* (lost the
+    /// race to another consumer) and re-parked — contention, not just
+    /// ordering.
+    pub reparks: u64,
 }
 
 /// Issued-instruction mix.
@@ -140,10 +199,10 @@ impl InstrMix {
     }
 }
 
-impl RunStats {
+impl SimStats {
     /// Total instructions issued across processors.
     pub fn instructions(&self) -> u64 {
-        self.issued_per_processor.iter().sum()
+        self.streams.instructions()
     }
 }
 
@@ -159,15 +218,15 @@ pub struct RunResult {
     pub deadlocked: bool,
     /// Streams killed by faults (address/divide errors), with messages.
     pub faults: Vec<String>,
-    /// Run statistics.
-    pub stats: RunStats,
+    /// Machine counters for the run.
+    pub stats: SimStats,
 }
 
 impl RunResult {
     /// Machine-wide processor utilization: issued instructions over issue
     /// slots (`cycles × processors`).
     pub fn utilization(&self) -> f64 {
-        let n = self.stats.issued_per_processor.len() as f64;
+        let n = self.stats.streams.issued_per_processor.len() as f64;
         if self.cycles == 0 || n == 0.0 {
             return 0.0;
         }
@@ -201,6 +260,7 @@ pub struct Machine {
     soft_spawns: u64,
     sync_blocks: u64,
     wakes: u64,
+    reparks: u64,
     mix: InstrMix,
 }
 
@@ -227,6 +287,7 @@ impl Machine {
             soft_spawns: 0,
             sync_blocks: 0,
             wakes: 0,
+            reparks: 0,
             mix: InstrMix::default(),
         })
     }
@@ -318,15 +379,26 @@ impl Machine {
             completed,
             deadlocked,
             faults: self.faults.clone(),
-            stats: RunStats {
-                issued_per_processor: self.processors.iter().map(|p| p.issued).collect(),
-                forks: self.forks,
-                soft_spawns: self.soft_spawns,
-                sync_blocks: self.sync_blocks,
-                wakes: self.wakes,
-                peak_live_per_processor: self.processors.iter().map(|p| p.peak_live).collect(),
-                mem_accesses: self.memory.stats().accesses,
-                bank_queue_cycles: self.memory.stats().bank_queue_cycles,
+            stats: SimStats {
+                streams: StreamStats {
+                    issued_per_processor: self.processors.iter().map(|p| p.issued).collect(),
+                    issued_per_slot: self
+                        .processors
+                        .iter()
+                        .map(|p| p.issued_per_slot.clone())
+                        .collect(),
+                    peak_live_per_processor: self.processors.iter().map(|p| p.peak_live).collect(),
+                },
+                threads: ThreadStats {
+                    forks: self.forks,
+                    soft_spawns: self.soft_spawns,
+                },
+                sync: SyncStats {
+                    blocked: self.sync_blocks,
+                    wakes: self.wakes,
+                    reparks: self.reparks,
+                },
+                memory: self.memory.stats(),
                 mix: self.mix,
             },
         }
@@ -350,6 +422,7 @@ impl Machine {
         if let Some(w) = self.waiters.get_mut(&addr) {
             let at = self.cycle + self.config.wake_latency;
             while let Some((wp, wslot)) = w.on_full.pop_front() {
+                self.processors[wp].stream_mut(wslot).was_woken = true;
                 self.processors[wp].make_ready_at(wslot, at);
                 self.wakes += 1;
             }
@@ -360,6 +433,7 @@ impl Machine {
         if let Some(w) = self.waiters.get_mut(&addr) {
             let at = self.cycle + self.config.wake_latency;
             while let Some((wp, wslot)) = w.on_empty.pop_front() {
+                self.processors[wp].stream_mut(wslot).was_woken = true;
                 self.processors[wp].make_ready_at(wslot, at);
                 self.wakes += 1;
             }
@@ -414,7 +488,7 @@ impl Machine {
             self.fault(p, slot, format!("pc {pc} ran off the end of the program"));
             return;
         };
-        self.processors[p].issued += 1;
+        self.processors[p].record_issue(slot);
         if instr.is_sync() {
             self.mix.sync += 1;
         } else if instr.is_memory() {
@@ -609,7 +683,6 @@ impl Machine {
                             self.wake_on_empty(addr);
                         }
                         None => {
-                            self.sync_blocks += 1;
                             self.waiters
                                 .entry(addr)
                                 .or_default()
@@ -631,7 +704,6 @@ impl Machine {
                     if self.memory.try_put_sync(addr, v) {
                         self.wake_on_full(addr);
                     } else {
-                        self.sync_blocks += 1;
                         self.waiters
                             .entry(addr)
                             .or_default()
@@ -651,7 +723,6 @@ impl Machine {
                     match self.memory.try_read_ff(addr) {
                         Some(v) => self.processors[p].stream_mut(slot).set_reg(rd, v),
                         None => {
-                            self.sync_blocks += 1;
                             self.waiters
                                 .entry(addr)
                                 .or_default()
@@ -690,7 +761,6 @@ impl Machine {
                     match self.memory.try_fetch_add(addr, delta) {
                         Some(old) => self.processors[p].stream_mut(slot).set_reg(rd, old),
                         None => {
-                            self.sync_blocks += 1;
                             self.waiters
                                 .entry(addr)
                                 .or_default()
@@ -735,11 +805,22 @@ impl Machine {
             return;
         }
         if parked {
-            // pc unchanged: the instruction re-executes on wake.
+            // pc unchanged: the instruction re-executes on wake. Every
+            // park is one full/empty retry; a park of a just-woken stream
+            // additionally counts as a repark (it lost the word to
+            // another consumer between wake and retry).
+            self.sync_blocks += 1;
+            let s = self.processors[p].stream_mut(slot);
+            if s.was_woken {
+                s.was_woken = false;
+                self.reparks += 1;
+            }
             self.processors[p].park(slot);
             return;
         }
-        self.processors[p].stream_mut(slot).pc = next_pc;
+        let s = self.processors[p].stream_mut(slot);
+        s.was_woken = false;
+        s.pc = next_pc;
         self.processors[p].make_ready_at(slot, ready_at);
     }
 }
@@ -877,7 +958,7 @@ mod tests {
             1,
         );
         assert!(r.completed);
-        assert_eq!(r.stats.forks, 63);
+        assert_eq!(r.stats.threads.forks, 63);
         let u = r.utilization();
         assert!(u > 0.85, "64 ALU streams should nearly saturate: {u}");
     }
@@ -930,10 +1011,10 @@ mod tests {
         assert!(r.completed, "run did not complete: {r:?}");
         assert_eq!(m.memory().load(1001), 1 + 2 + 3 + 4 + 5);
         assert!(
-            r.stats.sync_blocks > 0,
+            r.stats.sync.blocked > 0,
             "the rendezvous must actually block"
         );
-        assert!(r.stats.wakes > 0);
+        assert!(r.stats.sync.wakes > 0);
     }
 
     #[test]
@@ -1055,7 +1136,10 @@ mod tests {
         m.spawn(0, 0).unwrap();
         let r = m.run(10_000_000);
         assert!(r.completed, "{r:?}");
-        assert!(r.stats.soft_spawns > 0, "some workers must have queued");
+        assert!(
+            r.stats.threads.soft_spawns > 0,
+            "some workers must have queued"
+        );
         assert_eq!(
             m.memory().load(3000),
             10,
@@ -1090,11 +1174,11 @@ mod tests {
         m.spawn(0, 0).unwrap();
         let r = m.run(10_000_000);
         assert!(r.completed);
-        assert!(r.stats.peak_live_per_processor[0] > 1);
+        assert!(r.stats.streams.peak_live_per_processor[0] > 1);
         assert!(
-            r.stats.peak_live_per_processor[1] > 1,
+            r.stats.streams.peak_live_per_processor[1] > 1,
             "{:?}",
-            r.stats.peak_live_per_processor
+            r.stats.streams.peak_live_per_processor
         );
     }
 
@@ -1154,6 +1238,136 @@ mod tests {
         assert_eq!(r.stats.mix.sync, 1);
         assert_eq!(r.stats.mix.thread, 1);
         assert!((r.stats.mix.mem_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_slot_issue_counts_sum_to_per_processor_totals() {
+        let (_, r) = run_program(
+            |a| {
+                a.li(2, 6);
+                a.label("spawn");
+                a.fork_l("work", 0);
+                a.addi(2, 2, -1);
+                a.bne_l(2, 0, "spawn");
+                a.label("work");
+                a.li(1, 50);
+                a.label("loop");
+                a.addi(1, 1, -1);
+                a.bne_l(1, 0, "loop");
+                a.halt();
+            },
+            1,
+        );
+        assert!(r.completed);
+        let s = &r.stats.streams;
+        assert_eq!(s.issued_per_slot.len(), s.issued_per_processor.len());
+        for (proc_total, slots) in s.issued_per_processor.iter().zip(&s.issued_per_slot) {
+            assert_eq!(slots.iter().sum::<u64>(), *proc_total);
+        }
+        // 7 streams ran on one processor, so at least 7 slots issued.
+        assert!(s.issued_per_slot[0].iter().filter(|&&n| n > 0).count() >= 7);
+    }
+
+    #[test]
+    fn contended_fetch_add_counts_reparks() {
+        // Many workers fetch_add on a word that main toggles empty/full
+        // through a StoreSync chain is hard to arrange; instead park many
+        // consumers on one empty word and publish it once: every woken
+        // consumer races to take it, exactly one wins per publish, the
+        // losers re-park — those are reparks.
+        let mut a = Assembler::new();
+        a.li(2, 4); // fork 4 consumers
+        a.label("spawn");
+        a.fork_l("consume", 0);
+        a.addi(2, 2, -1);
+        a.bne_l(2, 0, "spawn");
+        // main: delay so all consumers park, then publish 4 values.
+        a.li(7, 200);
+        a.label("delay");
+        a.addi(7, 7, -1);
+        a.bne_l(7, 0, "delay");
+        a.li(1, 4);
+        a.li(3, 1000);
+        a.label("produce");
+        a.store_sync(0, 3, 0); // waits empty, publishes 0
+        a.addi(1, 1, -1);
+        a.bne_l(1, 0, "produce");
+        a.halt();
+        a.label("consume");
+        a.li(3, 1000);
+        a.load_sync(4, 3, 0); // take one value
+        a.li(5, 1001);
+        a.li(6, 1);
+        a.fetch_add(4, 5, 0, 6); // count completions
+        a.halt();
+        let program = a.assemble().unwrap();
+        let mut m = Machine::new(
+            MtaConfig {
+                mem_words: 1 << 12,
+                ..MtaConfig::tera(1)
+            },
+            program,
+        )
+        .unwrap();
+        m.memory_mut().set_empty(1000);
+        m.spawn(0, 0).unwrap();
+        let r = m.run(10_000_000);
+        assert!(r.completed, "{r:?}");
+        assert_eq!(m.memory().load(1001), 4, "all four consumers finish");
+        let sync = r.stats.sync;
+        assert!(sync.blocked > 0);
+        assert!(
+            sync.reparks > 0,
+            "woken consumers racing for one word must repark: {sync:?}"
+        );
+        assert!(
+            sync.reparks < sync.blocked,
+            "a repark is a subset of blocks: {sync:?}"
+        );
+    }
+
+    #[test]
+    fn uncontended_sync_has_no_reparks() {
+        // One producer, one consumer, one channel word: a woken stream
+        // always finds the state it was woken for, so reparks stay 0 even
+        // though blocking happens.
+        let mut a = Assembler::new();
+        a.li(2, 1000);
+        a.fork_l("consumer", 0);
+        a.li(1, 1);
+        a.label("produce");
+        a.store_sync(1, 2, 0);
+        a.addi(1, 1, 1);
+        a.li(3, 6);
+        a.bne_l(1, 3, "produce");
+        a.halt();
+        a.label("consumer");
+        a.li(2, 1000);
+        a.li(5, 5);
+        a.label("consume");
+        a.load_sync(3, 2, 0);
+        a.addi(5, 5, -1);
+        a.bne_l(5, 0, "consume");
+        a.halt();
+        let program = a.assemble().unwrap();
+        let mut m = Machine::new(
+            MtaConfig {
+                mem_words: 1 << 12,
+                ..MtaConfig::tera(1)
+            },
+            program,
+        )
+        .unwrap();
+        m.memory_mut().set_empty(1000);
+        m.spawn(0, 0).unwrap();
+        let r = m.run(10_000_000);
+        assert!(r.completed, "{r:?}");
+        assert!(r.stats.sync.blocked > 0, "{:?}", r.stats.sync);
+        assert_eq!(
+            r.stats.sync.reparks, 0,
+            "one producer + one consumer never race: {:?}",
+            r.stats.sync
+        );
     }
 
     #[test]

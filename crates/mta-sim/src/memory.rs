@@ -21,6 +21,13 @@ pub struct Memory {
     stats: MemStats,
 }
 
+/// Number of buckets in [`MemStats::queue_wait_hist`].
+pub const QUEUE_WAIT_BUCKETS: usize = 5;
+
+/// Upper bounds (inclusive, in cycles) of the histogram buckets; the last
+/// bucket is open-ended.
+pub const QUEUE_WAIT_BOUNDS: [u64; QUEUE_WAIT_BUCKETS - 1] = [0, 4, 16, 64];
+
 /// Aggregate memory-system statistics for a run.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct MemStats {
@@ -28,6 +35,30 @@ pub struct MemStats {
     pub accesses: u64,
     /// Total cycles accesses spent queued behind busy banks.
     pub bank_queue_cycles: u64,
+    /// Histogram of per-access queue waits, in cycles: 0, 1–4, 5–16,
+    /// 17–64, 65+. A tail in the high buckets is the hot-banking signature
+    /// (e.g. a stride equal to the bank count); uniform traffic lands
+    /// almost entirely in bucket 0.
+    pub queue_wait_hist: [u64; QUEUE_WAIT_BUCKETS],
+}
+
+impl MemStats {
+    /// Histogram bucket for a queue wait of `wait` cycles.
+    pub fn wait_bucket(wait: u64) -> usize {
+        QUEUE_WAIT_BOUNDS
+            .iter()
+            .position(|&b| wait <= b)
+            .unwrap_or(QUEUE_WAIT_BUCKETS - 1)
+    }
+
+    /// Fraction of accesses that queued at all (bucket 0 excluded).
+    pub fn queued_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            (self.accesses - self.queue_wait_hist[0]) as f64 / self.accesses as f64
+        }
+    }
 }
 
 /// When a scheduled bank access starts service and completes.
@@ -94,8 +125,10 @@ impl Memory {
         let start = now.max(self.bank_free_at[bank]);
         let done = start + self.bank_service;
         self.bank_free_at[bank] = done;
+        let wait = start - now;
         self.stats.accesses += 1;
-        self.stats.bank_queue_cycles += start - now;
+        self.stats.bank_queue_cycles += wait;
+        self.stats.queue_wait_hist[MemStats::wait_bucket(wait)] += 1;
         BankTiming { start, done }
     }
 
@@ -229,6 +262,8 @@ mod tests {
             }
         );
         assert_eq!(m.stats().bank_queue_cycles, 4);
+        // One access went straight through, one waited 4 cycles (bucket 1).
+        assert_eq!(m.stats().queue_wait_hist, [1, 1, 0, 0, 0]);
     }
 
     #[test]
@@ -239,6 +274,41 @@ mod tests {
         assert_eq!(t1.start, 100);
         assert_eq!(t2.start, 100);
         assert_eq!(m.stats().bank_queue_cycles, 0);
+        assert_eq!(m.stats().queue_wait_hist, [2, 0, 0, 0, 0]);
+        assert_eq!(m.stats().queued_fraction(), 0.0);
+    }
+
+    #[test]
+    fn wait_buckets_split_at_documented_bounds() {
+        for (wait, bucket) in [
+            (0u64, 0usize),
+            (1, 1),
+            (4, 1),
+            (5, 2),
+            (16, 2),
+            (17, 3),
+            (64, 3),
+            (65, 4),
+            (10_000, 4),
+        ] {
+            assert_eq!(MemStats::wait_bucket(wait), bucket, "wait={wait}");
+        }
+    }
+
+    #[test]
+    fn hot_banking_fills_the_tail_buckets() {
+        // 32 back-to-back accesses to the same bank: wait grows by the
+        // 4-cycle service time each access, so the histogram must spread
+        // into every bucket, and the queued fraction approaches 1.
+        let mut m = Memory::new(256, 64, 4);
+        for _ in 0..32 {
+            m.schedule_access(0, 0);
+        }
+        let h = m.stats().queue_wait_hist;
+        assert_eq!(h.iter().sum::<u64>(), 32);
+        assert!(h[4] > 0, "65+ bucket must be populated: {h:?}");
+        assert_eq!(h[0], 1, "only the first access avoids the queue");
+        assert!(m.stats().queued_fraction() > 0.9);
     }
 
     #[test]

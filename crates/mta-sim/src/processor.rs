@@ -26,6 +26,11 @@ pub struct Stream {
     pub reg_ready_at: [u64; NUM_REGS],
     /// Completion cycles of in-flight memory operations (lookahead mode).
     pub outstanding: Vec<u64>,
+    /// Set when a full/empty transition wakes this stream; cleared when
+    /// its retried instruction executes. A park with the flag still set is
+    /// a *repark*: the stream lost the race for the word to another
+    /// consumer.
+    pub was_woken: bool,
 }
 
 impl Stream {
@@ -38,6 +43,7 @@ impl Stream {
             pc,
             reg_ready_at: [0; NUM_REGS],
             outstanding: Vec::new(),
+            was_woken: false,
         }
     }
 
@@ -102,6 +108,8 @@ pub struct Processor {
     pending: BinaryHeap<Reverse<(u64, usize)>>,
     /// Instructions issued so far.
     pub issued: u64,
+    /// Instructions issued per hardware stream slot.
+    pub issued_per_slot: Vec<u64>,
     /// Number of live (occupied) stream contexts.
     pub live: usize,
     /// High-water mark of simultaneously live streams.
@@ -118,9 +126,16 @@ impl Processor {
             ready: VecDeque::new(),
             pending: BinaryHeap::new(),
             issued: 0,
+            issued_per_slot: vec![0; n_streams],
             live: 0,
             peak_live: 0,
         }
+    }
+
+    /// Account one issued instruction to `slot`.
+    pub fn record_issue(&mut self, slot: usize) {
+        self.issued += 1;
+        self.issued_per_slot[slot] += 1;
     }
 
     /// Number of hardware contexts.
@@ -277,6 +292,20 @@ mod tests {
         assert!(p.has_free_slot());
         assert_eq!(p.live, 0);
         assert_eq!(p.peak_live, 1);
+    }
+
+    #[test]
+    fn record_issue_tracks_per_slot_counts() {
+        let mut p = Processor::new(3);
+        let a = p.install(Stream::new(0, 0), 0);
+        let b = p.install(Stream::new(0, 0), 0);
+        p.record_issue(a);
+        p.record_issue(a);
+        p.record_issue(b);
+        assert_eq!(p.issued, 3);
+        assert_eq!(p.issued_per_slot[a], 2);
+        assert_eq!(p.issued_per_slot[b], 1);
+        assert_eq!(p.issued_per_slot.iter().sum::<u64>(), p.issued);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of the SC'98 paper.
 //!
 //! ```text
-//! repro [--reduced] [--no-cache] [--timing] [--csv DIR] [--out FILE] [SECTION...]
+//! repro [--reduced] [--no-cache] [--timing] [--profile] [--gate FILE]
+//!       [--csv DIR] [--out FILE] [SECTION...]
 //!
 //! SECTIONs: tables (default), figures, utilization, autopar, scalability,
 //!           sensitivity, all
@@ -19,15 +20,22 @@
 //! reading or writing snapshots. `--timing` times the harness's own
 //! parallelization (1 host thread vs all of them), verifies the outputs
 //! are byte-identical, and writes the report to `BENCH_harness.json`.
+//!
+//! `--profile` turns on the `sthreads::stats` nano-timing tier for the
+//! whole run and appends an observability report: where the pool's time
+//! went (dispatch, imbalance, useful work), plus a sample `mta-sim` run's
+//! machine counters (issue slots, bank-queue histogram, full/empty retry
+//! traffic). `--gate FILE` parses FILE as a `BENCH_harness.json`, checks
+//! it against the harness invariants (schema keys present, every phase
+//! bit-identical, table-generation speedup at the gate), and exits
+//! non-zero on any violation — this is what `ci.sh` runs.
 
 use eval_core::cache;
-use eval_core::experiments::{Experiments, Figure};
-use eval_core::workload::{Workload, WorkloadScale};
+use eval_core::experiments::{self, Experiments, Figure, HarnessReport};
+use eval_core::workload::WorkloadScale;
 use mta_sim::kernels::measure_utilization_sweep;
-use mta_sim::MtaConfig;
 use std::io::Write;
-use std::time::Instant;
-use sthreads::{Schedule, ThreadPool};
+use sthreads::ThreadPool;
 
 struct Options {
     scale: WorkloadScale,
@@ -36,6 +44,8 @@ struct Options {
     out_file: Option<String>,
     use_cache: bool,
     timing: bool,
+    profile: bool,
+    gate: Option<String>,
     n_threads: Option<usize>,
     sections: Vec<String>,
 }
@@ -48,6 +58,8 @@ fn parse_args() -> Options {
         out_file: None,
         use_cache: true,
         timing: false,
+        profile: false,
+        gate: None,
         n_threads: None,
         sections: Vec::new(),
     };
@@ -60,6 +72,13 @@ fn parse_args() -> Options {
             "--out" => opts.out_file = args.next(),
             "--no-cache" => opts.use_cache = false,
             "--timing" => opts.timing = true,
+            "--profile" => opts.profile = true,
+            "--gate" => {
+                opts.gate = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--gate requires a BENCH_harness.json path");
+                    std::process::exit(2);
+                }))
+            }
             "--threads" => {
                 opts.n_threads =
                     Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -69,8 +88,8 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--reduced] [--no-cache] [--timing] [--threads N] [--csv DIR] \
-                     [--json FILE] [--out FILE] \
+                    "usage: repro [--reduced] [--no-cache] [--timing] [--profile] \
+                     [--gate FILE] [--threads N] [--csv DIR] [--json FILE] [--out FILE] \
                      [tables|figures|utilization|autopar|scalability|all]..."
                 );
                 std::process::exit(0);
@@ -88,13 +107,45 @@ fn want(opts: &Options, section: &str) -> bool {
     opts.sections.iter().any(|s| s == section || s == "all")
 }
 
-/// Stream counts reported by the utilization section.
-const UTIL_STREAMS: [usize; 11] = [1, 2, 4, 8, 16, 32, 48, 64, 80, 100, 128];
-
-fn util_cfg() -> MtaConfig {
-    MtaConfig {
-        mem_words: 1 << 20,
-        ..MtaConfig::tera(1)
+/// `--gate FILE`: validate a harness report and exit. Any problem —
+/// unreadable file, schema mismatch, invariant violation — exits 1 with
+/// every violation listed, so CI output shows the whole picture at once.
+fn run_gate(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gate: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report: HarnessReport = match serde_json::from_str(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gate: {path} does not match the BENCH_harness.json schema: {e}");
+            std::process::exit(1);
+        }
+    };
+    match report.validate() {
+        Ok(()) => {
+            let tg = report
+                .phases
+                .iter()
+                .find(|p| p.phase == "table generation")
+                .expect("validate() guarantees the phase exists");
+            println!(
+                "gate: {path} OK — {} phases identical, table generation {:.2}x (gate {})",
+                report.phases.len(),
+                tg.speedup,
+                experiments::TABLE_GEN_SPEEDUP_GATE,
+            );
+            std::process::exit(0);
+        }
+        Err(errs) => {
+            for e in &errs {
+                eprintln!("gate: FAIL: {e}");
+            }
+            std::process::exit(1);
+        }
     }
 }
 
@@ -106,110 +157,110 @@ fn utilization_report(n_threads: usize) -> String {
     // mixed_kernel with alu_per_iter = 3: 5 instructions per iteration,
     // 1 load => L = (4*21 + 70)/5 = 30.8 cycles.
     let l = (4.0 * 21.0 + 70.0) / 5.0;
-    let measured = measure_utilization_sweep(&util_cfg(), &UTIL_STREAMS, 400, 3, n_threads);
-    for (&s, u) in UTIL_STREAMS.iter().zip(measured) {
+    let measured = measure_utilization_sweep(
+        &experiments::util_cfg(),
+        &experiments::UTIL_STREAMS,
+        400,
+        3,
+        n_threads,
+    );
+    for (&s, u) in experiments::UTIL_STREAMS.iter().zip(measured) {
         let model = (s as f64 / l).min(1.0);
         out.push_str(&format!("  {s:>7}  {u:>8.3}   {model:>8.3}\n"));
     }
     out
 }
 
-/// One row of the `--timing` report: the same phase run on one host
-/// thread and on all of them, producing identical output.
-#[derive(serde::Serialize)]
-struct PhaseTiming {
-    phase: String,
-    seq_seconds: f64,
-    par_seconds: f64,
-    speedup: f64,
-    identical_output: bool,
-}
-
-#[derive(serde::Serialize)]
-struct TimingReport {
-    scale: String,
-    host_threads: usize,
-    phases: Vec<PhaseTiming>,
-}
-
-/// Time `f` once and return (seconds, result).
-fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
-    let start = Instant::now();
-    let v = f();
-    (start.elapsed().as_secs_f64(), v)
-}
-
-/// Run every parallelized harness phase sequentially and in parallel,
-/// check bit-identity, and write `BENCH_harness.json`.
-fn timing_report(scale: WorkloadScale, n_threads: usize) -> String {
-    // Pre-spawn the persistent pool's workers so the parallel timings
-    // measure steady-state dispatch (wakeups), not one-time thread
-    // creation — the paper's own distinction between stream creation and
-    // CreateThread (§7).
-    ThreadPool::global().warm(n_threads);
-    let mut phases = Vec::new();
-    let mut record = |phase: &str, seq: f64, par: f64, identical: bool| {
-        phases.push(PhaseTiming {
-            phase: phase.to_string(),
-            seq_seconds: seq,
-            par_seconds: par,
-            speedup: seq / par,
-            identical_output: identical,
-        });
-    };
-
-    let (t_seq, w_seq) = timed(|| Workload::build_with(scale, 1, Schedule::Dynamic));
-    let (t_par, w_par) = timed(|| Workload::build_with(scale, n_threads, Schedule::Dynamic));
-    record("workload measurement", t_seq, t_par, w_seq == w_par);
-
-    let exps = Experiments::new(w_par);
-    let csv = |tables: &[eval_core::Table]| -> String {
-        tables
-            .iter()
-            .map(|t| t.to_csv())
-            .collect::<Vec<_>>()
-            .join("\n")
-    };
-    let (t_seq, tab_seq) = timed(|| exps.all_tables_with_threads(1));
-    let (t_par, tab_par) = timed(|| exps.all_tables_with_threads(n_threads));
-    record(
-        "table generation",
-        t_seq,
-        t_par,
-        csv(&tab_seq) == csv(&tab_par),
-    );
-
-    let (t_seq, u_seq) = timed(|| measure_utilization_sweep(&util_cfg(), &UTIL_STREAMS, 400, 3, 1));
-    let (t_par, u_par) =
-        timed(|| measure_utilization_sweep(&util_cfg(), &UTIL_STREAMS, 400, 3, n_threads));
-    record("utilization sweep", t_seq, t_par, u_seq == u_par);
-
-    let report = TimingReport {
-        scale: format!("{scale:?}"),
-        host_threads: n_threads,
-        phases,
-    };
-    let json = serde_json::to_string_pretty(&report).expect("serialize timing report");
-    std::fs::write("BENCH_harness.json", &json).expect("write BENCH_harness.json");
-    eprintln!("wrote BENCH_harness.json");
-
+/// The `--profile` report: process-lifetime pool counters (the always-on
+/// tier plus the nano-timing tier enabled at startup) and a sample
+/// simulator run's structured machine counters.
+fn profile_report() -> String {
+    use sthreads::stats;
+    let s = stats::snapshot();
     let mut out = String::new();
+    out.push_str("Observability profile (sthreads::stats, process lifetime)\n");
     out.push_str(&format!(
-        "Harness self-timing ({:?} scale, {} host threads; outputs verified identical)\n",
-        scale, report.host_threads
+        "  pool regions          {:>10}  (nested fallback {}, serial cutoff {})\n",
+        s.regions, s.nested_regions, s.serial_cutoff_regions
     ));
-    out.push_str("  phase                  1 thread      parallel   speedup  identical\n");
-    for p in &report.phases {
-        out.push_str(&format!(
-            "  {:<20} {:>8.3} s   {:>8.3} s   {:>6.2}x  {}\n",
-            p.phase, p.seq_seconds, p.par_seconds, p.speedup, p.identical_output
-        ));
-    }
+    out.push_str(&format!(
+        "  tasks / batches       {:>10} / {} (mean batch {:.1} tasks)\n",
+        s.tasks,
+        s.batches,
+        s.mean_batch_items()
+    ));
+    out.push_str(&format!(
+        "  worker parks / wakes  {:>10} / {}\n",
+        s.parks, s.wakes
+    ));
+    out.push_str(&format!(
+        "  dispatch / imbalance  {:>10.3} ms / {:.3} ms  (floor {} ns/region)\n",
+        s.dispatch_ns as f64 / 1e6,
+        s.imbalance_ns as f64 / 1e6,
+        stats::dispatch_floor_ns()
+    ));
+    out.push_str(&format!(
+        "  busy / idle           {:>10.3} ms / {:.3} ms\n",
+        s.busy_ns as f64 / 1e6,
+        s.idle_ns as f64 / 1e6
+    ));
+
+    // One deterministic simulator run, profiled through SimStats: 32
+    // streams of the standard utilization mix plus a fetch-add hot word.
+    let (_, r) = mta_sim::kernels::run_kernel(
+        experiments::util_cfg(),
+        mta_sim::kernels::mixed_kernel(32, 400, 3, 4096),
+        &[],
+    );
+    let st = &r.stats;
+    out.push_str("\nSimulator machine counters (mixed kernel, 32 streams, 1 processor)\n");
+    out.push_str(&format!(
+        "  cycles / instructions {:>10} / {}  (utilization {:.1}%)\n",
+        r.cycles,
+        st.instructions(),
+        100.0 * r.utilization()
+    ));
+    let active_slots: usize = st
+        .streams
+        .issued_per_slot
+        .iter()
+        .map(|p| p.iter().filter(|&&n| n > 0).count())
+        .sum();
+    out.push_str(&format!(
+        "  issue slots used      {:>10}  (peak live {:?})\n",
+        active_slots, st.streams.peak_live_per_processor
+    ));
+    out.push_str(&format!(
+        "  threads               {:>10} forks, {} soft spawns\n",
+        st.threads.forks, st.threads.soft_spawns
+    ));
+    out.push_str(&format!(
+        "  full/empty sync       {:>10} retries, {} wakes, {} reparks\n",
+        st.sync.blocked, st.sync.wakes, st.sync.reparks
+    ));
+    out.push_str(&format!(
+        "  memory accesses       {:>10}  ({:.1}% queued; {} bank-queue cycles)\n",
+        st.memory.accesses,
+        100.0 * st.memory.queued_fraction(),
+        st.memory.bank_queue_cycles
+    ));
+    out.push_str(&format!(
+        "  queue-wait histogram  {:>10?}  (cycles: 0, 1-4, 5-16, 17-64, 65+)\n",
+        st.memory.queue_wait_hist
+    ));
     out
 }
 
 fn main() {
     let opts = parse_args();
+    if let Some(path) = &opts.gate {
+        run_gate(path);
+    }
+    if opts.profile {
+        // Enable the clock-reading tier up front so every phase below is
+        // attributed, not just the --timing section.
+        sthreads::stats::set_timing(true);
+    }
     let n_threads = opts
         .n_threads
         .unwrap_or_else(|| ThreadPool::global().n_threads());
@@ -293,7 +344,16 @@ fn main() {
     }
 
     if opts.timing {
-        out.push_str(&timing_report(opts.scale, n_threads));
+        let report = experiments::harness_timing(opts.scale, n_threads);
+        let json = serde_json::to_string_pretty(&report).expect("serialize timing report");
+        std::fs::write("BENCH_harness.json", &json).expect("write BENCH_harness.json");
+        eprintln!("wrote BENCH_harness.json");
+        out.push_str(&report.render());
+        out.push('\n');
+    }
+
+    if opts.profile {
+        out.push_str(&profile_report());
         out.push('\n');
     }
 

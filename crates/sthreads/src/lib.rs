@@ -54,6 +54,7 @@ pub mod future;
 pub mod par_for;
 pub mod pool;
 pub mod queue;
+pub mod stats;
 pub mod syncvar;
 
 pub use barrier::{reduce, Barrier};
@@ -62,6 +63,7 @@ pub use future::Future;
 pub use par_for::{multithreaded_for, par_map, ChunkBounds, ParFor, Schedule};
 pub use pool::{scope_threads, ThreadPool};
 pub use queue::WorkQueue;
+pub use stats::StatsSnapshot;
 pub use syncvar::{SyncCounter, SyncVar};
 
 /// Compute the half-open index range owned by `chunk` when `n_items` items

@@ -18,6 +18,8 @@
 
 use crate::pool::scope_threads;
 use crate::queue::WorkQueue;
+use crate::stats;
+use std::time::Instant;
 
 /// Iteration-to-thread assignment policy for [`multithreaded_for`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +72,7 @@ pub struct ParFor {
     n_threads: usize,
     n_chunks: Option<usize>,
     schedule: Schedule,
+    serial_cutoff: bool,
 }
 
 impl ParFor {
@@ -81,6 +84,7 @@ impl ParFor {
             n_threads: 1,
             n_chunks: None,
             schedule: Schedule::Static,
+            serial_cutoff: false,
         }
     }
 
@@ -110,6 +114,25 @@ impl ParFor {
         self
     }
 
+    /// Enable the measured small-region sequential cutoff (default off;
+    /// [`par_map`] turns it on).
+    ///
+    /// With the cutoff enabled, [`ParFor::run`] executes the first
+    /// iteration on the caller and times it. If the estimated wall-clock
+    /// saving from parallelizing the remainder — best case
+    /// `total × (1 − 1/w)`, with `w` capped by the host's real
+    /// parallelism — cannot amortize the *measured* cost of waking the
+    /// pool ([`stats::dispatch_floor_ns`]), the rest runs inline too.
+    /// This is the §7 `CreateThread` lesson applied to wakeups: a region
+    /// whose per-task work sits below the dispatch floor is pure
+    /// overhead, so the scheduler must refuse to open it. Iterations are
+    /// visited exactly once either way, in an order both schedules
+    /// already permit, so observable results are unchanged.
+    pub fn serial_cutoff(mut self, on: bool) -> Self {
+        self.serial_cutoff = on;
+        self
+    }
+
     /// Number of static chunks this loop decomposes into.
     pub fn n_chunks(&self) -> usize {
         self.n_chunks.unwrap_or(self.n_threads)
@@ -136,9 +159,52 @@ impl ParFor {
     where
         F: Fn(usize) + Sync,
     {
+        stats::record_tasks(self.range.len());
+        if self.serial_cutoff {
+            let n = self.range.len();
+            if self.n_threads <= 1 || n <= 1 {
+                for i in self.range.clone() {
+                    body(i);
+                }
+                return;
+            }
+            // Probe: run the first iteration inline and time it. The
+            // probe is work that had to happen anyway, so a wrong
+            // decision costs only the dispatch floor, never lost work.
+            let probe_start = Instant::now();
+            body(self.range.start);
+            let per_task_ns = probe_start.elapsed().as_nanos() as u64;
+            let rest = self.range.start + 1..self.range.end;
+            if stats::should_serialize(per_task_ns, rest.len(), self.n_threads) {
+                stats::record_serial_cutoff();
+                let timing = stats::timing_enabled();
+                let inline_start = if timing { stats::now_ns() } else { 0 };
+                for i in rest {
+                    body(i);
+                }
+                if timing {
+                    stats::record_busy_ns(per_task_ns + (stats::now_ns() - inline_start));
+                }
+                return;
+            }
+            let remainder = Self {
+                range: rest,
+                serial_cutoff: false,
+                ..self.clone()
+            };
+            remainder.dispatch(&body);
+            return;
+        }
+        self.dispatch(&body);
+    }
+
+    fn dispatch<F>(&self, body: &F)
+    where
+        F: Fn(usize) + Sync,
+    {
         match self.schedule {
-            Schedule::Static => self.run_static(&body),
-            Schedule::Dynamic => self.run_dynamic(&body),
+            Schedule::Static => self.run_static(body),
+            Schedule::Dynamic => self.run_dynamic(body),
         }
     }
 
@@ -179,19 +245,24 @@ impl ParFor {
     {
         let queue = WorkQueue::new(self.range.clone());
         let n_threads = self.n_threads;
-        // Batched self-scheduling with an adaptive grain: claim ~1/8 of a
-        // fair share per fetch_add while work is plentiful, decaying to
-        // single-index claims near the end so load balance stays as good
-        // as the paper's "next unprocessed threat" loop.
-        let grain = |remaining: usize| (remaining / (8 * n_threads)).max(1);
         scope_threads(n_threads, |_| {
-            while let Some(batch) = queue.next_batch(grain(queue.remaining())) {
+            while let Some(batch) = queue.next_batch(dynamic_grain(queue.remaining(), n_threads)) {
                 for i in batch {
                     body(i);
                 }
             }
         });
     }
+}
+
+/// Batch size for dynamic self-scheduling: claim ~1/8 of a fair share per
+/// `fetch_add` while work is plentiful, decaying to single-index claims
+/// near the end so load balance stays as good as the paper's "next
+/// unprocessed threat" loop. Clamped to at least 1 — in the
+/// `n_tasks < n_threads` regime the fair share rounds to zero, and a
+/// zero-size batch would assert in `WorkQueue::next_batch`.
+pub(crate) fn dynamic_grain(remaining: usize, n_threads: usize) -> usize {
+    (remaining / (8 * n_threads)).max(1)
 }
 
 /// A vector of write-once result slots shared across a parallel region.
@@ -248,6 +319,10 @@ impl<T> ResultSlots<T> {
 /// rely on. [`Schedule::Dynamic`] suits variable-size tasks (benchmark
 /// scenarios, simulator sweeps); [`Schedule::Static`] suits uniform ones
 /// (table rows).
+///
+/// `par_map` enables [`ParFor::serial_cutoff`]: a region whose measured
+/// per-task work cannot amortize the pool's measured dispatch floor runs
+/// inline on the caller instead, with identical output.
 pub fn par_map<T, F>(n_tasks: usize, n_threads: usize, schedule: Schedule, f: F) -> Vec<T>
 where
     T: Send,
@@ -257,12 +332,14 @@ where
         return (0..n_tasks).map(f).collect();
     }
     let slots = ResultSlots::new(n_tasks);
-    multithreaded_for(0..n_tasks, n_threads, schedule, |i| {
-        // SAFETY: both schedules dispense each index to exactly one
-        // worker, so slot `i` has exactly one writer and no reader until
-        // the region completes.
-        unsafe { slots.write(i, f(i)) };
-    });
+    ParFor::new(0..n_tasks)
+        .threads(n_threads)
+        .schedule(schedule)
+        .serial_cutoff(true)
+        // SAFETY: both schedules (and the cutoff's inline path) dispense
+        // each index exactly once, so slot `i` has exactly one writer and
+        // no reader until the region completes.
+        .run(|i| unsafe { slots.write(i, f(i)) });
     // SAFETY: the loop above visited every index in 0..n_tasks exactly
     // once (the invariant the schedule tests and the parallel oracle
     // enforce), so every slot is initialized.
@@ -302,6 +379,37 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         check_each_index_once(Schedule::Static, 3, 16);
         check_each_index_once(Schedule::Dynamic, 3, 16);
+    }
+
+    #[test]
+    fn dynamic_grain_is_at_least_one_in_every_regime() {
+        // n_tasks < n_threads: the fair share rounds to zero and must be
+        // clamped, or WorkQueue::next_batch would assert on k == 0.
+        assert_eq!(dynamic_grain(3, 16), 1);
+        assert_eq!(dynamic_grain(1, 128), 1);
+        assert_eq!(dynamic_grain(0, 4), 1);
+        // Plentiful work: ~1/8 of a fair share per claim.
+        assert_eq!(dynamic_grain(1000, 4), 31);
+        assert_eq!(dynamic_grain(10_000, 8), 156);
+    }
+
+    #[test]
+    fn dynamic_schedule_with_fewer_tasks_than_threads_terminates_cleanly() {
+        // Regression shape for the n_tasks < n_threads regime: most
+        // workers find the queue already exhausted and must fall out of
+        // their claim loop on the first None — a worker spinning on an
+        // empty queue would hang this test (the harness timeout catches
+        // it), and a zero grain would panic. Repeated because the failure
+        // mode is a race between the claiming minority and the idle
+        // majority.
+        for _ in 0..50 {
+            check_each_index_once(Schedule::Dynamic, 3, 16);
+        }
+        // The queue itself hands an exhausted range straight to None.
+        let q = WorkQueue::new(0..3);
+        while q.next_batch(dynamic_grain(q.remaining(), 16)).is_some() {}
+        assert!(q.is_exhausted());
+        assert_eq!(q.next_batch(1), None, "exhausted queue must stay None");
     }
 
     #[test]
@@ -352,6 +460,40 @@ mod tests {
     #[test]
     fn par_map_of_empty_task_list_is_empty() {
         assert!(par_map(0, 4, Schedule::Dynamic, |i| i).is_empty());
+    }
+
+    #[test]
+    fn serial_cutoff_visits_each_index_exactly_once() {
+        // Whichever way the measured cutoff decides (probe-then-inline or
+        // probe-then-parallel-remainder), every index runs exactly once —
+        // the invariant par_map's write-once slots depend on.
+        for schedule in [Schedule::Static, Schedule::Dynamic] {
+            let hits: Vec<AtomicU32> = (0..64).map(|_| AtomicU32::new(0)).collect();
+            ParFor::new(0..64)
+                .threads(4)
+                .schedule(schedule)
+                .serial_cutoff(true)
+                .run(|i| {
+                    hits[i].fetch_add(1, Ordering::SeqCst);
+                });
+            assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        }
+    }
+
+    #[test]
+    fn trivial_tasks_take_the_sequential_cutoff() {
+        // ~ns-scale tasks sit far below the measured dispatch floor on
+        // any host, so the cutoff must refuse to open a region. Counters
+        // are process-global and tests run concurrently, so assert on the
+        // delta being at least our own contribution.
+        let before = crate::stats::snapshot();
+        let got = par_map(64, 4, Schedule::Static, |i| i as u64 * 3 + 1);
+        let delta = crate::stats::snapshot() - before;
+        assert_eq!(got, (0..64).map(|i| i * 3 + 1).collect::<Vec<u64>>());
+        assert!(
+            delta.serial_cutoff_regions >= 1,
+            "64 trivial tasks must run inline, not pay the dispatch floor"
+        );
     }
 
     #[test]

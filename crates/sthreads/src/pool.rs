@@ -32,6 +32,8 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::stats;
+
 thread_local! {
     /// Set while the current thread is executing a parallel-region body
     /// (as pool worker, region caller, or fallback scoped thread). A
@@ -87,6 +89,16 @@ struct PoolState {
     shutdown: bool,
     /// Number of worker threads spawned so far (workers are lazy).
     n_workers: usize,
+    /// Publish time of the current region (`stats::now_ns`), or 0 when the
+    /// timing tier is off. Workers diff against it for dispatch latency.
+    publish_ns: u64,
+    /// Σ over this region's workers of (body start − publish).
+    region_dispatch_ns: u64,
+    /// Per-worker body nanos for this region; the caller aggregates them
+    /// at region exit. Written only under the state lock the workers
+    /// already take to decrement `active`, so the timing tier adds no
+    /// synchronization — only clock reads.
+    region_busy: Vec<u64>,
 }
 
 struct PoolShared {
@@ -159,6 +171,9 @@ impl ThreadPool {
                         panic: None,
                         shutdown: false,
                         n_workers: 0,
+                        publish_ns: 0,
+                        region_dispatch_ns: 0,
+                        region_busy: Vec::new(),
                     }),
                     work_cv: Condvar::new(),
                     done_cv: Condvar::new(),
@@ -226,11 +241,13 @@ impl ThreadPool {
             return;
         }
         if IN_PARALLEL_REGION.with(Cell::get) {
+            stats::record_nested_region();
             spawn_region(width, &body);
             return;
         }
         let _region = self.inner.region.lock();
         let shared = &self.inner.shared;
+        let timing = stats::timing_enabled();
 
         // SAFETY: the job pointer is dereferenced only by workers between
         // the publish below and their `active` decrement, and this frame
@@ -251,25 +268,49 @@ impl ThreadPool {
             });
             st.active = width - 1;
             st.panic = None;
+            st.publish_ns = if timing { stats::now_ns() } else { 0 };
+            st.region_dispatch_ns = 0;
+            st.region_busy.clear();
         }
         shared.work_cv.notify_all();
 
         // Run our own share as logical thread 0. A panic here must not
         // skip the completion wait: workers still hold the job pointer
         // into this frame.
+        let caller_start = if timing { stats::now_ns() } else { 0 };
         let caller_result = catch_unwind(AssertUnwindSafe(|| {
             let _in_region = RegionGuard::enter();
             body(0);
         }));
+        let caller_busy = if timing {
+            stats::now_ns() - caller_start
+        } else {
+            0
+        };
 
         let worker_panic = {
             let mut st = shared.state.lock();
             while st.active > 0 {
                 shared.done_cv.wait(&mut st);
             }
+            if timing {
+                // Snapshot the region's timing into the process-wide
+                // accumulators: total busy, critical-path imbalance
+                // (slowest logical thread vs perfect balance), and the
+                // summed worker dispatch latencies.
+                let mut sum = caller_busy;
+                let mut max = caller_busy;
+                for &b in &st.region_busy {
+                    sum += b;
+                    max = max.max(b);
+                }
+                let mean = sum / width as u64;
+                stats::record_region_timing(st.region_dispatch_ns, sum, max - mean);
+            }
             st.job = None;
             st.panic.take()
         };
+        stats::record_pooled_region(width);
 
         if let Err(payload) = caller_result {
             resume_unwind(payload);
@@ -319,9 +360,20 @@ fn worker_loop(shared: &PoolShared, index: usize, mut seen_epoch: u64) {
             // thread 0); a region narrower than that skips this worker.
             let job = st.job.filter(|j| index + 1 < j.width);
             if let Some(job) = job {
+                // Timing tier: publish_ns != 0 iff the caller sampled the
+                // clock for this region, so a mid-region toggle of the
+                // flag can only skip a region, never corrupt it.
+                let timing = st.publish_ns != 0;
+                let start = if timing { stats::now_ns() } else { 0 };
+                let dispatch = start.saturating_sub(st.publish_ns);
                 drop(st);
                 let result = catch_unwind(AssertUnwindSafe(|| (job.body)(index + 1)));
+                let busy = if timing { stats::now_ns() - start } else { 0 };
                 st = shared.state.lock();
+                if timing {
+                    st.region_dispatch_ns += dispatch;
+                    st.region_busy.push(busy);
+                }
                 if let Err(payload) = result {
                     if st.panic.is_none() {
                         st.panic = Some(payload);
@@ -334,27 +386,54 @@ fn worker_loop(shared: &PoolShared, index: usize, mut seen_epoch: u64) {
             }
             continue;
         }
+        let timing = stats::timing_enabled();
+        let parked_at = if timing { stats::now_ns() } else { 0 };
         shared.work_cv.wait(&mut st);
+        if timing {
+            stats::record_idle_ns(stats::now_ns() - parked_at);
+        }
     }
 }
 
 /// Fallback for nested regions: fresh scoped OS threads, exactly the
 /// pre-pool implementation. Spawned threads are flagged as in-region so
 /// arbitrarily deep nesting keeps taking this path.
+///
+/// Panic semantics match the pooled path exactly: every body is joined,
+/// the caller's own panic takes precedence, and otherwise the first
+/// worker payload is re-raised verbatim. (Letting `std::thread::scope`
+/// auto-join panicked threads would instead abort the scope with a
+/// generic "a scoped thread panicked" payload, so a nested region would
+/// surface a different panic than the same body on the pool.)
 fn spawn_region<F>(width: usize, body: &F)
 where
     F: Fn(usize) + Sync,
 {
-    std::thread::scope(|s| {
-        for t in 1..width {
-            s.spawn(move || {
-                let _in_region = RegionGuard::enter();
-                body(t);
-            });
-        }
+    let mut worker_panic: Option<Box<dyn Any + Send>> = None;
+    let caller_result = std::thread::scope(|s| {
+        let handles: Vec<_> = (1..width)
+            .map(|t| {
+                s.spawn(move || {
+                    let _in_region = RegionGuard::enter();
+                    body(t);
+                })
+            })
+            .collect();
         // The caller is already flagged (we only get here nested).
-        body(0);
+        let r = catch_unwind(AssertUnwindSafe(|| body(0)));
+        for h in handles {
+            if let Err(payload) = h.join() {
+                worker_panic.get_or_insert(payload);
+            }
+        }
+        r
     });
+    if let Err(payload) = caller_result {
+        resume_unwind(payload);
+    }
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
 }
 
 /// Run `n_threads` copies of `body` concurrently on the process-wide
@@ -516,6 +595,71 @@ mod tests {
                 panic!("caller body panicked");
             }
         });
+    }
+
+    /// Render a panic payload the way `panic!` produced it (`&str` for
+    /// literals, `String` for formatted messages).
+    fn payload_text(p: &(dyn Any + Send)) -> String {
+        if let Some(s) = p.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = p.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            panic!("panic payload is neither &str nor String");
+        }
+    }
+
+    #[test]
+    fn nested_region_panic_payload_matches_pooled_path() {
+        // The same formatted panic, raised by a worker body on the pooled
+        // path and inside a nested (scoped-fallback) region. Both must
+        // surface the original payload — not thread::scope's generic
+        // "a scoped thread panicked" replacement.
+        let pooled = catch_unwind(AssertUnwindSafe(|| {
+            scope_threads(2, |t| {
+                if t == 1 {
+                    panic!("nested payload {}", 6 * 7);
+                }
+            });
+        }))
+        .unwrap_err();
+        let nested = catch_unwind(AssertUnwindSafe(|| {
+            scope_threads(2, |t| {
+                if t == 0 {
+                    scope_threads(2, |u| {
+                        if u == 1 {
+                            panic!("nested payload {}", 6 * 7);
+                        }
+                    });
+                }
+            });
+        }))
+        .unwrap_err();
+        assert_eq!(payload_text(&*pooled), "nested payload 42");
+        assert_eq!(
+            payload_text(&*nested),
+            payload_text(&*pooled),
+            "nested fallback must re-raise the identical panic payload"
+        );
+    }
+
+    #[test]
+    fn nested_region_caller_panic_takes_precedence() {
+        // Caller-body panic precedence is part of "identical to the pooled
+        // path": when both the nested caller and a nested worker panic,
+        // the caller's payload wins, as in run_width.
+        let got = catch_unwind(AssertUnwindSafe(|| {
+            scope_threads(2, |t| {
+                if t == 0 {
+                    scope_threads(2, |u| match u {
+                        0 => panic!("nested caller payload"),
+                        _ => panic!("nested worker payload"),
+                    });
+                }
+            });
+        }))
+        .unwrap_err();
+        assert_eq!(payload_text(&*got), "nested caller payload");
     }
 
     #[test]

@@ -50,7 +50,11 @@ impl WorkQueue {
         // out indices; the caller's own work provides any data ordering
         // it needs.
         let i = self.next.fetch_add(k, Ordering::Relaxed);
-        (i < self.end).then(|| i..self.end.min(i.saturating_add(k)))
+        let batch = (i < self.end).then(|| i..self.end.min(i.saturating_add(k)));
+        if let Some(b) = &batch {
+            crate::stats::record_batch(b.len());
+        }
+        batch
     }
 
     /// How many indices are still unclaimed (saturating at zero once

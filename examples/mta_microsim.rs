@@ -71,7 +71,7 @@ fn main() {
         r.stats.instructions(),
         r.cycles,
         100.0 * r.utilization(),
-        r.stats.sync_blocks
+        r.stats.sync.blocked
     );
 
     // ── 2. The utilization curve (paper Sections 5 and 7) ──────────────
@@ -115,7 +115,7 @@ fn main() {
     println!(
         "\n8-stage producer/consumer pipeline over full/empty words: sum {}, {} wakeups, {} cycles",
         m.memory().load(layout.sink_addr),
-        r.stats.wakes,
+        r.stats.sync.wakes,
         r.cycles
     );
 }
