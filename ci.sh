@@ -15,6 +15,13 @@ cargo fmt --check
 echo "== clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== rustdoc (broken links and missing docs are errors) =="
+# First-party crates only: the vendored path crates under vendor/ are
+# workspace members too, and their upstream docs are not ours to fix.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+  -p sthreads -p mta-sim -p smp-sim -p autopar -p c3i -p eval-core \
+  -p bench -p repro -p tera-c3i
+
 echo "== tier-1: release build + tests =="
 cargo build --release
 cargo test -q

@@ -15,6 +15,12 @@
 //!   the cost of the `sthreads::stats` nano-timing tier (the always-on
 //!   counter tier is exercised by every other entry here — its budget is
 //!   the ≤2% drift acceptance on this group).
+//! * `fine_grain` — the 10k×~1µs task storm dispatched through the shared
+//!   claim counter (`Schedule::Dynamic`) vs per-worker deques with
+//!   stealing (`Schedule::Stealing`), cutoff pinned off so the dispatch
+//!   mechanisms themselves are on the record. This is the contention wall
+//!   the stealing schedule exists to remove; the same comparison is
+//!   recorded as the `fine_grain` phase of `BENCH_harness.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -109,5 +115,51 @@ fn bench_dispatch_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_spawn_overhead, bench_dispatch_overhead);
+/// Deterministic busy work sized around ~1 µs of host compute: the §6
+/// fine-grained regime, far below the per-claim cost a shared counter can
+/// amortize.
+fn micro_task(seed: usize) -> u64 {
+    let mut x = seed as u64 | 1;
+    for _ in 0..500 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+    }
+    x
+}
+
+fn bench_fine_grain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fine_grain");
+    g.sample_size(10);
+    ThreadPool::global().warm(REGION_WIDTH);
+    for (name, schedule) in [
+        ("shared_queue", Schedule::Dynamic),
+        ("work_stealing", Schedule::Stealing),
+    ] {
+        g.bench_function(format!("storm_10k_1us_tasks_{name}"), |b| {
+            b.iter(|| {
+                let acc = std::sync::atomic::AtomicU64::new(0);
+                ParFor::new(0..10_000)
+                    .threads(REGION_WIDTH)
+                    .schedule(schedule)
+                    .serial_cutoff(false)
+                    .run(|i| {
+                        acc.fetch_add(
+                            black_box(micro_task(i)),
+                            std::sync::atomic::Ordering::Relaxed,
+                        );
+                    });
+                acc.into_inner()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spawn_overhead,
+    bench_dispatch_overhead,
+    bench_fine_grain
+);
 criterion_main!(benches);

@@ -62,7 +62,10 @@ pub fn terrain_masking_fine_host(scenario: &TerrainScenario, n_threads: usize) -
                 let masking_ref = &masking;
                 let ring_ref = &ring;
                 let results_ref = &results;
-                multithreaded_for(0..ring.len(), n_threads, Schedule::Static, |i| {
+                // Rings are the sub-microsecond case (a few hundred cells,
+                // ~100ns each): the stealing schedule keeps each worker on
+                // a contiguous arc without a shared claim counter.
+                multithreaded_for(0..ring.len(), n_threads, Schedule::Stealing, |i| {
                     let (x, y) = ring_ref[i];
                     let v = raw_alt_for_cell(
                         terrain,

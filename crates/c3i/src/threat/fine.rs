@@ -38,10 +38,13 @@ pub fn threat_analysis_fine_host(scenario: &ThreatScenario, n_threads: usize) ->
     let slots: Vec<OnceLock<Interval>> = (0..n_slots).map(|_| OnceLock::new()).collect();
     let num_intervals = SyncCounter::new(0);
 
+    // Per-threat tasks are short and irregular; the stealing schedule
+    // rebalances them without the shared claim counter (output order is
+    // already nondeterministic, so the schedule change is unobservable).
     multithreaded_for(
         0..scenario.threats.len(),
         n_threads,
-        Schedule::Dynamic,
+        Schedule::Stealing,
         |ti| {
             let threat = &scenario.threats[ti];
             for (wi, weapon) in scenario.weapons.iter().enumerate() {

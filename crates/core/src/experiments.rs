@@ -920,6 +920,37 @@ pub fn util_cfg() -> mta_sim::MtaConfig {
 /// prevent.
 pub const TABLE_GEN_SPEEDUP_GATE: f64 = 0.95;
 
+/// Minimum acceptable ratio of shared-queue time to work-stealing time on
+/// the `fine_grain` task storm. The phase compares the two *dispatch
+/// mechanisms* at the same thread count, so the gate asserts stealing is
+/// never slower than the central queue it replaced; on multi-core hosts
+/// the storm additionally reports the real contention gap between them.
+pub const FINE_GRAIN_SPEEDUP_GATE: f64 = 0.95;
+
+/// Number of tasks in the `fine_grain` storm.
+pub const FINE_GRAIN_TASKS: usize = 10_000;
+
+/// One ~1µs task of the fine-grain storm: a short LCG spin returning a
+/// checksum both dispatch arms must reproduce exactly.
+fn storm_task(i: usize) -> u64 {
+    let mut x = i as u64 | 1;
+    for _ in 0..500 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+    }
+    x
+}
+
+/// The `fine_grain` storm: [`FINE_GRAIN_TASKS`] × ~1µs tasks through
+/// [`par_map`] under the given schedule. This is the regime the paper's §6
+/// inner-loop parallelism lives in — tasks far too short for per-claim
+/// synchronization on a shared structure — and the workload where the
+/// stealing scheduler must beat (or at least match) the shared queue.
+pub fn fine_grain_storm(n_threads: usize, schedule: Schedule) -> Vec<u64> {
+    par_map(FINE_GRAIN_TASKS, n_threads, schedule, storm_task)
+}
+
 /// Where a phase's parallel wall-clock went, from `sthreads::stats`
 /// snapshot deltas taken around the phase with nano-timing enabled.
 ///
@@ -949,8 +980,11 @@ impl PhaseBreakdown {
     }
 }
 
-/// One row of the harness self-timing report: the same phase run on one
-/// host thread and on all of them, producing identical output.
+/// One row of the harness self-timing report: the same phase run two
+/// ways, producing identical output. For most phases the two arms are one
+/// host thread vs all of them; for `fine_grain` both arms use all host
+/// threads and the comparison is shared-queue dispatch (`seq_seconds`)
+/// vs work-stealing dispatch (`par_seconds`).
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PhaseTiming {
     /// Phase name (stable — `ci.sh` gates on "table generation").
@@ -1033,6 +1067,16 @@ impl HarnessReport {
             )),
             Some(_) => {}
             None => errs.push("missing 'table generation' phase".to_string()),
+        }
+        match self.phases.iter().find(|p| p.phase == "fine_grain") {
+            Some(fg) if fg.speedup < FINE_GRAIN_SPEEDUP_GATE => errs.push(format!(
+                "fine_grain speedup {:.2}x is below the {FINE_GRAIN_SPEEDUP_GATE} gate \
+                 (shared queue {:.6} s, stealing {:.6} s) — the stealing scheduler is \
+                 slower than the shared queue it replaced",
+                fg.speedup, fg.seq_seconds, fg.par_seconds
+            )),
+            Some(_) => {}
+            None => errs.push("missing 'fine_grain' phase".to_string()),
         }
         if errs.is_empty() {
             Ok(())
@@ -1161,6 +1205,17 @@ pub fn harness_timing(scale: crate::workload::WorkloadScale, n_threads: usize) -
                 n_threads,
             )
         },
+        |a, b| a == b,
+    ));
+
+    // Both arms run at n_threads; the row compares the shared-queue and
+    // work-stealing dispatchers on the 10k×1µs storm. Best-of-5 because
+    // the whole phase is ~10 ms and one preemption would flap the gate.
+    phases.push(measure_phase(
+        "fine_grain",
+        5,
+        || fine_grain_storm(n_threads, Schedule::Dynamic),
+        || fine_grain_storm(n_threads, Schedule::Stealing),
         |a, b| a == b,
     ));
 
@@ -1472,6 +1527,7 @@ mod tests {
                 phase("workload measurement", 2.0, 0.6),
                 phase("table generation", 0.001, 0.001),
                 phase("utilization sweep", 1.0, 0.3),
+                phase("fine_grain", 0.012, 0.010),
             ],
         }
     }
@@ -1519,6 +1575,52 @@ mod tests {
                 .any(|e| e.contains("missing 'table generation'")),
             "{errs:?}"
         );
+    }
+
+    #[test]
+    fn fine_grain_slowdown_fails_the_gate() {
+        // Stealing slower than the shared queue it replaced is exactly the
+        // regression the fine_grain phase exists to catch.
+        let mut r = good_report();
+        let fg = r
+            .phases
+            .iter_mut()
+            .find(|p| p.phase == "fine_grain")
+            .unwrap();
+        fg.par_seconds = fg.seq_seconds / 0.7;
+        fg.speedup = 0.7;
+        let errs = r.validate().unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("slower than the shared queue")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn missing_fine_grain_phase_is_an_error() {
+        let mut r = good_report();
+        r.phases.retain(|p| p.phase != "fine_grain");
+        let errs = r.validate().unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("missing 'fine_grain'")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn fine_grain_storm_is_identical_across_schedules_and_thread_counts() {
+        let expected = fine_grain_storm(1, Schedule::Static);
+        assert_eq!(expected.len(), FINE_GRAIN_TASKS);
+        for schedule in [Schedule::Dynamic, Schedule::Stealing] {
+            for threads in [1, 2, 8] {
+                assert_eq!(
+                    fine_grain_storm(threads, schedule),
+                    expected,
+                    "{schedule:?} with {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

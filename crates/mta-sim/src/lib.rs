@@ -37,6 +37,22 @@
 //! 2. to validate the *analytic* Tera model in `eval-core` that scales
 //!    those mechanisms up to the full benchmark runs of Tables 5, 6
 //!    and 11.
+//!
+//! # Quick example
+//!
+//! Run the mixed utilization kernel single-streamed on one processor and
+//! observe the §5 ceiling — one stream can issue at most once per
+//! 21-cycle pipeline, so utilization sits below ~5%:
+//!
+//! ```
+//! use mta_sim::{kernels, MtaConfig};
+//!
+//! let cfg = MtaConfig { mem_words: 1 << 16, ..MtaConfig::tera(1) };
+//! let program = kernels::mixed_kernel(1, 200, 3, 4096);
+//! let (_, result) = kernels::run_kernel(cfg, program, &[]);
+//! assert!(result.completed);
+//! assert!(result.utilization() < 0.06);
+//! ```
 
 pub mod asm;
 pub mod asm_text;

@@ -23,12 +23,15 @@
 //!
 //! `--profile` turns on the `sthreads::stats` nano-timing tier for the
 //! whole run and appends an observability report: where the pool's time
-//! went (dispatch, imbalance, useful work), plus a sample `mta-sim` run's
-//! machine counters (issue slots, bank-queue histogram, full/empty retry
-//! traffic). `--gate FILE` parses FILE as a `BENCH_harness.json`, checks
-//! it against the harness invariants (schema keys present, every phase
-//! bit-identical, table-generation speedup at the gate), and exits
-//! non-zero on any violation — this is what `ci.sh` runs.
+//! went (dispatch, imbalance, useful work), the work-stealing counters
+//! (steals, stolen items, failed steals, victim misses) with the last
+//! timed region's per-worker busy breakdown, plus a sample `mta-sim`
+//! run's machine counters (issue slots, bank-queue histogram, full/empty
+//! retry traffic). `--gate FILE` parses FILE as a `BENCH_harness.json`,
+//! checks it against the harness invariants (schema keys present, every
+//! phase bit-identical, table-generation and fine_grain speedups at their
+//! gates), and exits non-zero on any violation — this is what `ci.sh`
+//! runs.
 
 use eval_core::cache;
 use eval_core::experiments::{self, Experiments, Figure, HarnessReport};
@@ -132,11 +135,19 @@ fn run_gate(path: &str) -> ! {
                 .iter()
                 .find(|p| p.phase == "table generation")
                 .expect("validate() guarantees the phase exists");
+            let fg = report
+                .phases
+                .iter()
+                .find(|p| p.phase == "fine_grain")
+                .expect("validate() guarantees the phase exists");
             println!(
-                "gate: {path} OK — {} phases identical, table generation {:.2}x (gate {})",
+                "gate: {path} OK — {} phases identical, table generation {:.2}x (gate {}), \
+                 fine_grain stealing vs shared queue {:.2}x (gate {})",
                 report.phases.len(),
                 tg.speedup,
                 experiments::TABLE_GEN_SPEEDUP_GATE,
+                fg.speedup,
+                experiments::FINE_GRAIN_SPEEDUP_GATE,
             );
             std::process::exit(0);
         }
@@ -204,6 +215,30 @@ fn profile_report() -> String {
         s.busy_ns as f64 / 1e6,
         s.idle_ns as f64 / 1e6
     ));
+    out.push_str(&format!(
+        "  steals / items        {:>10} / {} (mean {:.1} items/steal)\n",
+        s.steals,
+        s.stolen_items,
+        s.mean_stolen_items()
+    ));
+    out.push_str(&format!(
+        "  steal fails / misses  {:>10} / {} (contention {:.1}%)\n",
+        s.steal_fails,
+        s.victim_misses,
+        100.0 * s.steal_contention()
+    ));
+    let busy = stats::last_region_worker_busy();
+    if !busy.is_empty() {
+        let max = busy.iter().copied().max().unwrap_or(0).max(1) as f64;
+        out.push_str("  last timed region, per-worker busy (caller first):\n");
+        for (w, &ns) in busy.iter().enumerate() {
+            out.push_str(&format!(
+                "    worker {w:>2}  {:>10.3} ms  {:.0}%\n",
+                ns as f64 / 1e6,
+                100.0 * ns as f64 / max
+            ));
+        }
+    }
 
     // One deterministic simulator run, profiled through SimStats: 32
     // streams of the standard utilization mix plus a fetch-add hot word.

@@ -1,0 +1,260 @@
+//! Per-worker iteration deques for the work-stealing schedule.
+//!
+//! The shared [`WorkQueue`](crate::WorkQueue) self-schedules every claim
+//! through one atomic counter — the right model for the paper's Program 4
+//! ("threat = next unprocessed threat", a one-cycle `int_fetch_add` on the
+//! Tera), but a contention wall on the host the moment tasks drop below a
+//! few microseconds: every claim by every worker bounces the same cache
+//! line. [`Schedule::Stealing`](crate::Schedule::Stealing) replaces that
+//! central counter with one [`StealDeque`] per worker. Each deque holds a
+//! contiguous, still-unclaimed run of loop iterations packed into a single
+//! atomic word:
+//!
+//! * the **owner** pops batches from the *head* (low indices, so its
+//!   iterations stay a contiguous ascending run — the same cache-locality
+//!   argument as static chunking) with one CAS per batch on a line no
+//!   other worker touches in the common case;
+//! * **thieves** split off half the remaining span from the *tail* with
+//!   one CAS, so stolen work is itself a contiguous block that the thief
+//!   re-publishes as its own deque (and can be stolen from again).
+//!
+//! The deque is bounded by construction — it is a span, not a buffer — and
+//! lock-free: every operation is a single `compare_exchange` loop on one
+//! `AtomicU64`, and a failed CAS always means another worker made
+//! progress.
+//!
+//! # Why the packed span cannot ABA
+//!
+//! Both halves of the word are *global iteration indices*. A stale CAS
+//! could only succeed if the packed value recurred, i.e. if the exact span
+//! `start..end` were ever re-published to the same deque. Spans only ever
+//! shrink (pops advance `start`, steals retreat `end`) and a popped batch
+//! is executed, never re-circulated — so for `start..end` to recur, its
+//! head indices would have to re-enter circulation after being claimed,
+//! which never happens. The recurrence is impossible, so no version tag is
+//! needed.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Largest iteration index (exclusive) a [`StealDeque`] can hold: spans
+/// pack `start` and `end` into one `AtomicU64` as two 32-bit halves.
+/// Loops beyond this bound fall back to the shared-queue schedule (see
+/// [`ParFor`](crate::ParFor)).
+pub const MAX_INDEX: usize = u32::MAX as usize;
+
+#[inline]
+const fn pack(start: u32, end: u32) -> u64 {
+    ((end as u64) << 32) | start as u64
+}
+
+#[inline]
+const fn unpack(v: u64) -> (u32, u32) {
+    (v as u32, (v >> 32) as u32)
+}
+
+/// Outcome of a [`StealDeque::steal`] attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Steal {
+    /// The thief now exclusively owns this run of iterations.
+    Stolen(Range<usize>),
+    /// The victim's deque held no unclaimed iterations.
+    Empty,
+    /// The CAS lost a race with the owner or another thief; the victim
+    /// may still hold work, so the sweep should try again.
+    Retry,
+}
+
+/// A single-owner, multi-thief deque over a contiguous iteration span.
+///
+/// All operations use relaxed atomics: like [`WorkQueue`](crate::WorkQueue),
+/// the deque only decides *which* caller runs each index — any data
+/// ordering the loop bodies need is their own concern, and the enclosing
+/// pool region's lock handshake orders final result visibility.
+#[derive(Debug)]
+pub struct StealDeque {
+    span: AtomicU64,
+}
+
+impl StealDeque {
+    /// A deque initially owning `range`. Panics if `range.end` exceeds
+    /// [`MAX_INDEX`].
+    pub fn new(range: Range<usize>) -> Self {
+        assert!(
+            range.end <= MAX_INDEX,
+            "StealDeque: index range exceeds the packed 32-bit bound"
+        );
+        let start = range.start.min(range.end);
+        Self {
+            span: AtomicU64::new(pack(start as u32, range.end as u32)),
+        }
+    }
+
+    /// How many iterations are still unclaimed in this deque.
+    pub fn remaining(&self) -> usize {
+        let (start, end) = unpack(self.span.load(Ordering::Relaxed));
+        (end - start) as usize
+    }
+
+    /// Owner claim: take up to `max` iterations from the head of the
+    /// span, or `None` when the deque is empty. Panics if `max == 0`.
+    pub fn pop(&self, max: usize) -> Option<Range<usize>> {
+        assert!(max > 0, "StealDeque::pop: batch size must be > 0");
+        let mut cur = self.span.load(Ordering::Relaxed);
+        loop {
+            let (start, end) = unpack(cur);
+            if start >= end {
+                return None;
+            }
+            let k = ((end - start) as usize).min(max) as u32;
+            match self.span.compare_exchange_weak(
+                cur,
+                pack(start + k, end),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(start as usize..(start + k) as usize),
+                // A thief moved the tail (or the CAS failed spuriously);
+                // the head is still ours to claim — retry on the new span.
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Thief claim: split off the tail half of the victim's remaining
+    /// span in one CAS. Unlike [`StealDeque::pop`] this never loops — a
+    /// lost race reports [`Steal::Retry`] so the caller's sweep can count
+    /// contention and move to the next victim.
+    pub fn steal(&self) -> Steal {
+        let cur = self.span.load(Ordering::Relaxed);
+        let (start, end) = unpack(cur);
+        if start >= end {
+            return Steal::Empty;
+        }
+        let k = (end - start).div_ceil(2);
+        match self.span.compare_exchange(
+            cur,
+            pack(start, end - k),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => Steal::Stolen((end - k) as usize..end as usize),
+            Err(_) => Steal::Retry,
+        }
+    }
+
+    /// Re-publish a stolen run as this deque's span, making it claimable
+    /// by this worker's [`StealDeque::pop`] and stealable by others.
+    ///
+    /// Only the deque's owner may call this, and only while the deque is
+    /// empty (the owner just drained it; thieves never grow a span), so a
+    /// plain store cannot overwrite unclaimed work.
+    pub fn publish(&self, range: Range<usize>) {
+        debug_assert_eq!(self.remaining(), 0, "publish over unclaimed work");
+        assert!(
+            range.end <= MAX_INDEX,
+            "StealDeque: index range exceeds the packed 32-bit bound"
+        );
+        let start = range.start.min(range.end);
+        self.span
+            .store(pack(start as u32, range.end as u32), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn pop_drains_the_span_in_order() {
+        let d = StealDeque::new(3..11);
+        assert_eq!(d.remaining(), 8);
+        assert_eq!(d.pop(3), Some(3..6));
+        assert_eq!(d.pop(3), Some(6..9));
+        assert_eq!(d.pop(3), Some(9..11), "final batch truncates");
+        assert_eq!(d.pop(3), None);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn steal_takes_the_tail_half() {
+        let d = StealDeque::new(0..10);
+        assert_eq!(d.steal(), Steal::Stolen(5..10));
+        assert_eq!(d.steal(), Steal::Stolen(2..5), "half of 5, rounded up");
+        assert_eq!(d.remaining(), 2);
+        assert_eq!(d.pop(10), Some(0..2), "owner keeps the head");
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn steal_of_one_item_empties_the_deque() {
+        let d = StealDeque::new(7..8);
+        assert_eq!(d.steal(), Steal::Stolen(7..8));
+        assert_eq!(d.steal(), Steal::Empty);
+        assert_eq!(d.pop(1), None);
+    }
+
+    #[test]
+    fn empty_range_is_empty() {
+        let d = StealDeque::new(5..5);
+        assert_eq!(d.remaining(), 0);
+        assert_eq!(d.pop(4), None);
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn publish_after_drain_makes_the_span_claimable_again() {
+        let d = StealDeque::new(0..4);
+        while d.pop(2).is_some() {}
+        d.publish(100..108);
+        assert_eq!(d.remaining(), 8);
+        assert_eq!(d.pop(8), Some(100..108));
+    }
+
+    #[test]
+    #[should_panic(expected = "packed 32-bit bound")]
+    fn ranges_beyond_u32_are_rejected() {
+        let _ = StealDeque::new(0..MAX_INDEX + 1);
+    }
+
+    #[test]
+    fn concurrent_pops_and_steals_partition_the_span() {
+        // One owner popping small batches races 7 thieves; every index
+        // must be claimed exactly once across all of them.
+        const N: usize = 40_000;
+        let d = StealDeque::new(0..N);
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            let (d, seen) = (&d, &seen);
+            s.spawn(move || {
+                let mut local = Vec::new();
+                while let Some(r) = d.pop(7) {
+                    local.extend(r);
+                }
+                let mut set = seen.lock().unwrap();
+                for i in local {
+                    assert!(set.insert(i), "index {i} claimed twice");
+                }
+            });
+            for _ in 0..7 {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        match d.steal() {
+                            Steal::Stolen(r) => local.extend(r),
+                            Steal::Retry => std::hint::spin_loop(),
+                            Steal::Empty => break,
+                        }
+                    }
+                    let mut set = seen.lock().unwrap();
+                    for i in local {
+                        assert!(set.insert(i), "index {i} claimed twice");
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len(), N);
+    }
+}

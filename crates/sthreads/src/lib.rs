@@ -13,8 +13,9 @@
 //! that the paper's manual parallelizations are built from:
 //!
 //! * [`multithreaded_for`] / [`ParFor`] — the `#pragma multithreaded` loop,
-//!   with static chunking (Program 2) or dynamic self-scheduling
-//!   (Program 4),
+//!   with static chunking (Program 2), dynamic self-scheduling (Program 4),
+//!   or per-worker work stealing ([`Schedule::Stealing`]) for fine-grained
+//!   loops whose tasks are too short for a shared claim counter,
 //! * [`Future`] — Tera-style futures (spawn a computation, `force` its
 //!   value),
 //! * [`SyncVar`] — a full/empty synchronization variable modelling the Tera
@@ -35,7 +36,9 @@
 //!   thread; those counts feed the calibrated machine models in
 //!   `eval-core` that regenerate the paper's tables.
 //!
-//! # Quick example
+//! # Quick examples
+//!
+//! A parallel loop over an index range:
 //!
 //! ```
 //! use sthreads::{multithreaded_for, Schedule};
@@ -47,9 +50,38 @@
 //! });
 //! assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
 //! ```
+//!
+//! A parallel map whose output is bit-identical to the sequential map for
+//! every schedule and thread count — the property the experiment
+//! harness's oracles rely on:
+//!
+//! ```
+//! use sthreads::{par_map, Schedule};
+//!
+//! let squares = par_map(8, 4, Schedule::Stealing, |i| (i * i) as u64);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+//!
+//! Parallel regions run on a persistent process-wide pool; inspecting it
+//! and the runtime counters:
+//!
+//! ```
+//! use sthreads::{multithreaded_for, Schedule, ThreadPool};
+//!
+//! let pool = ThreadPool::global();
+//! assert!(pool.n_threads() >= 1);
+//!
+//! let before = sthreads::stats::snapshot();
+//! multithreaded_for(0..100, 2, Schedule::Dynamic, |_| {});
+//! let delta = sthreads::stats::snapshot() - before;
+//! assert!(delta.tasks >= 100);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod barrier;
 pub mod counting;
+pub mod deque;
 pub mod future;
 pub mod par_for;
 pub mod pool;
@@ -59,6 +91,7 @@ pub mod syncvar;
 
 pub use barrier::{reduce, Barrier};
 pub use counting::{OpCounts, OpRecorder, ThreadCounts};
+pub use deque::{Steal, StealDeque};
 pub use future::Future;
 pub use par_for::{multithreaded_for, par_map, ChunkBounds, ParFor, Schedule};
 pub use pool::{scope_threads, ThreadPool};

@@ -306,6 +306,10 @@ impl ThreadPool {
                 }
                 let mean = sum / width as u64;
                 stats::record_region_timing(st.region_dispatch_ns, sum, max - mean);
+                let mut per_worker = Vec::with_capacity(st.region_busy.len() + 1);
+                per_worker.push(caller_busy);
+                per_worker.extend_from_slice(&st.region_busy);
+                stats::record_region_worker_busy(per_worker);
             }
             st.job = None;
             st.panic.take()

@@ -32,14 +32,14 @@ proptest! {
     }
 
     /// multithreaded_for computes the same reduction as a sequential loop,
-    /// for both schedules and arbitrary thread counts.
+    /// for all three schedules and arbitrary thread counts.
     #[test]
     fn par_for_matches_sequential_sum(
         n in 0usize..2000,
         threads in 1usize..9,
-        dynamic in any::<bool>(),
+        which in 0usize..3,
     ) {
-        let schedule = if dynamic { Schedule::Dynamic } else { Schedule::Static };
+        let schedule = [Schedule::Static, Schedule::Dynamic, Schedule::Stealing][which];
         let expected: u64 = (0..n as u64).map(|i| i.wrapping_mul(2654435761)).sum();
         let sum = AtomicU64::new(0);
         multithreaded_for(0..n, threads, schedule, |i| {
@@ -130,6 +130,21 @@ proptest! {
         prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
+    /// par_map under the stealing schedule is bit-identical to the
+    /// sequential map at 1, 2 and 8 workers, for arbitrary task counts —
+    /// stealing may reorder execution, never results.
+    #[test]
+    fn stealing_par_map_is_bit_identical_to_sequential(n in 0usize..3000) {
+        let expected: Vec<u64> =
+            (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        for threads in [1usize, 2, 8] {
+            let got = sthreads::par_map(n, threads, Schedule::Stealing, |i| {
+                (i as u64).wrapping_mul(0x9E3779B97F4A7C15)
+            });
+            prop_assert_eq!(&got, &expected, "stealing diverged at {} threads", threads);
+        }
+    }
+
     /// SyncVar sequential write/take round-trips any sequence of values.
     #[test]
     fn syncvar_round_trips(values in proptest::collection::vec(any::<i64>(), 0..50)) {
@@ -154,5 +169,35 @@ proptest! {
             let per_worker = tc.worker_instructions(workers);
             prop_assert_eq!(per_worker.iter().sum::<u64>(), tc.total().instructions());
         }
+    }
+}
+
+/// A worker panicking mid-storm in a stealing region must propagate the
+/// panic to the caller, and — the regression this test pins — must leave
+/// the pool in a state where subsequent stealing regions run to
+/// completion: a thief raiding a dead worker's deque, or a parked peer
+/// waiting on it, must never deadlock. Repeated because the panic lands
+/// at a different point of the steal/pop interleaving each time.
+#[test]
+fn steal_under_panic_propagates_and_does_not_deadlock() {
+    for round in 0..20 {
+        let result = std::panic::catch_unwind(|| {
+            multithreaded_for(0..2000, 4, Schedule::Stealing, |i| {
+                if i == 997 {
+                    panic!("intentional mid-storm panic (round {round})");
+                }
+            });
+        });
+        assert!(result.is_err(), "the body's panic must reach the caller");
+
+        // The pool must still dispense every index of a fresh region.
+        let hits: Vec<AtomicU64> = (0..512).map(|_| AtomicU64::new(0)).collect();
+        multithreaded_for(0..512, 4, Schedule::Stealing, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+            "pool unusable after a panicked stealing region (round {round})"
+        );
     }
 }

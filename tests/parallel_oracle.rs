@@ -18,7 +18,7 @@ fn oracle() -> &'static Workload {
 fn parallel_workload_measurement_equals_sequential_oracle() {
     // Full-struct equality covers every OpCounts of every scenario
     // (OpCounts is integer-only, so == is exact, not approximate).
-    for schedule in [Schedule::Static, Schedule::Dynamic] {
+    for schedule in [Schedule::Static, Schedule::Dynamic, Schedule::Stealing] {
         for n_threads in [1usize, 2, 8] {
             let w = Workload::build_with(WorkloadScale::Reduced, n_threads, schedule);
             assert_eq!(
