@@ -19,8 +19,8 @@ echo "== rustdoc (broken links and missing docs are errors) =="
 # First-party crates only: the vendored path crates under vendor/ are
 # workspace members too, and their upstream docs are not ours to fix.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
-  -p sthreads -p mta-sim -p smp-sim -p autopar -p c3i -p eval-core \
-  -p bench -p repro -p tera-c3i
+  -p sthreads -p mta-sim -p smp-sim -p autopar -p c3i -p c3i-fuzz \
+  -p eval-core -p bench -p repro -p tera-c3i
 
 echo "== tier-1: release build + tests =="
 cargo build --release
@@ -37,6 +37,20 @@ cargo build --release -p repro
 # Regenerates BENCH_harness.json at reduced scale with the per-phase
 # dispatch/imbalance/useful-work breakdown.
 ./target/release/repro --reduced --timing --threads 4 timing > /dev/null
+
+echo "== differential fuzz smoke (fixed seed) =="
+# A short fixed-seed campaign: 25 reduced-size generated scenarios, each
+# run sequential-oracle × {coarse,fine,chunked} × {Static,Dynamic,
+# Stealing} × {1,2,8} workers with bit-identical comparison. The fixed
+# seed makes this a deterministic regression check, not a flaky lottery;
+# broaden locally with `repro --fuzz 200 --fuzz-seed $RANDOM`.
+./target/release/repro --reduced --fuzz 25 --fuzz-seed 1
+
+echo "== pinned regression corpus replay =="
+# Every minimized failure ever pinned under tests/corpus/ replays through
+# the same differential matrix (also part of `cargo test`; kept explicit
+# here so a corpus regression is named in CI output).
+cargo test -q --test corpus_replay
 
 echo "== harness regression gate (schema + identity + table-gen speedup) =="
 # `repro --gate` parses the report against the extended schema (every

@@ -1,0 +1,194 @@
+//! Delta-debugging minimization of failing scenarios.
+//!
+//! Classic ddmin over the scenario's entity lists (threats, weapons),
+//! followed by structural reductions (cropping the terrain grid, zeroing
+//! mast heights). Every candidate is re-run through the caller-supplied
+//! failure predicate, so the minimizer can never "fix" the failure while
+//! shrinking — it only keeps reductions that still reproduce it.
+
+use crate::gen::FuzzCase;
+use c3i::terrain::TerrainScenario;
+use c3i::Grid;
+
+/// ddmin over a list: repeatedly remove complement-of-chunk slices while
+/// the predicate still fails, refining granularity until chunks are
+/// single elements. Returns a (locally) 1-minimal sublist.
+fn ddmin_list<T: Clone>(items: &[T], still_fails: &mut dyn FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            // Candidate: everything except current[start..end].
+            let candidate: Vec<T> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .cloned()
+                .collect();
+            if !candidate.is_empty() && still_fails(&candidate) {
+                current = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    // Final pass: try dropping to empty outright.
+    if !current.is_empty() && still_fails(&[]) {
+        current.clear();
+    }
+    current
+}
+
+/// Try halving the terrain grid (top-left crop), keeping only threats
+/// that survive on the cropped grid with a clamped radius.
+fn crop_terrain(s: &TerrainScenario) -> Option<TerrainScenario> {
+    let (xs, ys) = (s.terrain.x_size(), s.terrain.y_size());
+    let (nx, ny) = (xs.div_ceil(2).max(1), ys.div_ceil(2).max(1));
+    if (nx, ny) == (xs, ys) {
+        return None;
+    }
+    let terrain = Grid::from_fn(nx, ny, |x, y| s.terrain[(x, y)]);
+    let threats = s
+        .threats
+        .iter()
+        .filter(|t| t.x < nx && t.y < ny)
+        .map(|t| {
+            let mut t = *t;
+            t.radius = t.radius.min(nx + ny);
+            t
+        })
+        .collect();
+    Some(TerrainScenario {
+        terrain,
+        threats,
+        cell_size_m: s.cell_size_m,
+    })
+}
+
+/// Minimize `case` with delta debugging: the returned case still
+/// satisfies `still_fails` and is (locally) minimal in its threat list,
+/// weapon list, and — for terrain cases — grid size.
+pub fn shrink_case(case: &FuzzCase, mut still_fails: impl FnMut(&FuzzCase) -> bool) -> FuzzCase {
+    debug_assert!(still_fails(case), "shrink input must itself fail");
+    match case {
+        FuzzCase::Terrain(s) => {
+            let mut best = s.clone();
+            // Shrink the grid first — grid size dominates replay cost.
+            while let Some(cropped) = crop_terrain(&best) {
+                if still_fails(&FuzzCase::Terrain(cropped.clone())) {
+                    best = cropped;
+                } else {
+                    break;
+                }
+            }
+            best.threats = ddmin_list(&best.threats, &mut |threats| {
+                let mut c = best.clone();
+                c.threats = threats.to_vec();
+                still_fails(&FuzzCase::Terrain(c))
+            });
+            FuzzCase::Terrain(best)
+        }
+        FuzzCase::Threat(s) => {
+            let mut best = s.clone();
+            best.threats = ddmin_list(&best.threats, &mut |threats| {
+                let mut c = best.clone();
+                c.threats = threats.to_vec();
+                still_fails(&FuzzCase::Threat(c))
+            });
+            best.weapons = ddmin_list(&best.weapons, &mut |weapons| {
+                let mut c = best.clone();
+                c.weapons = weapons.to_vec();
+                still_fails(&FuzzCase::Threat(c))
+            });
+            FuzzCase::Threat(best)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c3i::terrain::{small_scenario, GroundThreat};
+
+    #[test]
+    fn ddmin_isolates_a_single_bad_element() {
+        let items: Vec<u32> = (0..100).collect();
+        let mut calls = 0;
+        let min = ddmin_list(&items, &mut |xs| {
+            calls += 1;
+            xs.contains(&73)
+        });
+        assert_eq!(min, vec![73]);
+        assert!(
+            calls < 200,
+            "ddmin should be ~log-linear, made {calls} calls"
+        );
+    }
+
+    #[test]
+    fn ddmin_keeps_interacting_pairs() {
+        let items: Vec<u32> = (0..40).collect();
+        let min = ddmin_list(&items, &mut |xs| xs.contains(&3) && xs.contains(&29));
+        assert_eq!(min, vec![3, 29]);
+    }
+
+    #[test]
+    fn shrink_minimizes_a_terrain_case_to_the_culprit_threat() {
+        // Synthetic failure: "fails whenever a radius-0 threat at the
+        // origin is present". The shrinker must reduce 12 threats on a
+        // 128-grid down to that one threat on a tiny grid.
+        let mut s = small_scenario(1);
+        s.threats.push(GroundThreat {
+            x: 0,
+            y: 0,
+            radius: 0,
+            mast_height: 1.0,
+        });
+        let case = FuzzCase::Terrain(s);
+        let fails = |c: &FuzzCase| match c {
+            FuzzCase::Terrain(s) => s.threats.iter().any(|t| (t.x, t.y, t.radius) == (0, 0, 0)),
+            _ => false,
+        };
+        let min = shrink_case(&case, fails);
+        match min {
+            FuzzCase::Terrain(s) => {
+                assert_eq!(s.threats.len(), 1, "must isolate the culprit threat");
+                assert!(s.terrain.x_size() <= 2, "grid must shrink too");
+            }
+            _ => panic!("kind must be preserved"),
+        }
+    }
+
+    #[test]
+    fn shrink_minimizes_a_threat_case() {
+        let s = c3i::threat::small_scenario(2);
+        let marker = s.threats[17];
+        let case = FuzzCase::Threat(s);
+        let min = shrink_case(&case, |c| match c {
+            FuzzCase::Threat(s) => s.threats.contains(&marker),
+            _ => false,
+        });
+        match min {
+            FuzzCase::Threat(s) => {
+                assert_eq!(s.threats.len(), 1);
+                assert_eq!(s.threats[0], marker);
+                assert!(
+                    s.weapons.is_empty(),
+                    "weapons are irrelevant to this failure"
+                );
+            }
+            _ => panic!("kind must be preserved"),
+        }
+    }
+}

@@ -26,6 +26,9 @@ pub enum IoError {
     Io(std::io::Error),
     /// JSON (de)serialization error.
     Format(serde_json::Error),
+    /// The file parsed but its contents are inconsistent (e.g. a masking
+    /// grid whose cell count does not match its declared dimensions).
+    Malformed(String),
 }
 
 impl std::fmt::Display for IoError {
@@ -33,6 +36,7 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
             IoError::Format(e) => write!(f, "format error: {e}"),
+            IoError::Malformed(msg) => write!(f, "malformed file: {msg}"),
         }
     }
 }
@@ -113,11 +117,27 @@ pub fn save_masking(grid: &crate::Grid<f64>, path: impl AsRef<Path>) -> Result<(
 }
 
 /// Read a masking grid from a JSON file.
+///
+/// A cell count that disagrees with the declared dimensions (a truncated
+/// or hand-edited file) is an [`IoError::Malformed`] error, not a grid
+/// silently padded with zeros.
 pub fn load_masking(path: impl AsRef<Path>) -> Result<crate::Grid<f64>, IoError> {
     let file: MaskingFile = load(path)?;
+    let expected = file
+        .x_size
+        .checked_mul(file.y_size)
+        .ok_or_else(|| IoError::Malformed("masking grid dimensions overflow".into()))?;
+    if file.bits.len() != expected {
+        return Err(IoError::Malformed(format!(
+            "masking grid declares {}x{} = {expected} cells but carries {}",
+            file.x_size,
+            file.y_size,
+            file.bits.len()
+        )));
+    }
     let mut it = file.bits.into_iter();
     Ok(crate::Grid::from_fn(file.x_size, file.y_size, |_, _| {
-        f64::from_bits(it.next().unwrap_or(0))
+        f64::from_bits(it.next().expect("length checked above"))
     }))
 }
 
@@ -178,6 +198,16 @@ mod tests {
         terrain::verify_masking(&s, &masking2).expect("loaded masking verifies");
         std::fs::remove_file(sp).ok();
         std::fs::remove_file(mp).ok();
+    }
+
+    #[test]
+    fn truncated_masking_file_is_rejected() {
+        let path = tmp("truncated_masking.json");
+        std::fs::write(&path, r#"{"x_size":4,"y_size":4,"bits":[0,0,0]}"#).unwrap();
+        let err = load_masking(&path).unwrap_err();
+        assert!(matches!(err, IoError::Malformed(_)), "got {err:?}");
+        assert!(err.to_string().contains("16 cells"));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::counts::{NoRec, Profile, Rec};
 use crate::grid::Grid;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use sthreads::{scope_threads, OpRecorder, ThreadCounts, WorkQueue};
+use sthreads::{multithreaded_for, OpRecorder, Schedule, ThreadCounts};
 
 /// The paper's block decomposition: `nb × nb` equal-ish blocks over the
 /// terrain, one lock per block ("ten-by-ten blocking").
@@ -129,7 +129,7 @@ fn process_threat<R: Rec>(
 ) {
     let terrain = &scenario.terrain;
     let threat = &scenario.threats[ti];
-    let region = Region::of(threat, terrain.x_size(), terrain.y_size());
+    let region = Region::of_checked(threat, terrain.x_size(), terrain.y_size());
     r.sync(1); // claim from the work queue (fetch-add)
     r.load(4);
     r.int(8);
@@ -173,16 +173,26 @@ pub fn terrain_masking_coarse_host(
     n_threads: usize,
     n_blocks: usize,
 ) -> Grid<f64> {
+    terrain_masking_coarse_host_sched(scenario, n_threads, n_blocks, Schedule::Dynamic)
+}
+
+/// [`terrain_masking_coarse_host`] with an explicit iteration schedule for
+/// the outer threat loop. Per-cell merges commute (min under block locks),
+/// so every schedule produces the same grid bit-for-bit — the invariant
+/// the differential fuzzer exercises across the full schedule matrix.
+pub fn terrain_masking_coarse_host_sched(
+    scenario: &TerrainScenario,
+    n_threads: usize,
+    n_blocks: usize,
+    schedule: Schedule,
+) -> Grid<f64> {
     let terrain = &scenario.terrain;
     let blocking = Blocking::new(terrain.x_size(), terrain.y_size(), n_blocks);
     let masking = SharedMaskGrid::new_infinite(terrain.x_size(), terrain.y_size());
     let locks: Vec<Mutex<()>> = (0..n_blocks * n_blocks).map(|_| Mutex::new(())).collect();
-    let queue = WorkQueue::new(0..scenario.threats.len());
 
-    scope_threads(n_threads, |_| {
-        while let Some(ti) = queue.next() {
-            process_threat(scenario, ti, &blocking, &masking, Some(&locks), &mut NoRec);
-        }
+    multithreaded_for(0..scenario.threats.len(), n_threads, schedule, |ti| {
+        process_threat(scenario, ti, &blocking, &masking, Some(&locks), &mut NoRec);
     });
 
     masking.into_grid(terrain.y_size())
@@ -318,6 +328,18 @@ mod tests {
         for threads in [1, 2, 4, 8] {
             let coarse = terrain_masking_coarse_host(&s, threads, 10);
             assert_eq!(coarse, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_schedule_matches_sequential_bitwise() {
+        let s = small_scenario(6);
+        let seq = terrain_masking_host(&s);
+        for schedule in [Schedule::Static, Schedule::Dynamic, Schedule::Stealing] {
+            for threads in [1, 2, 8] {
+                let coarse = terrain_masking_coarse_host_sched(&s, threads, 10, schedule);
+                assert_eq!(coarse, seq, "{schedule:?} threads={threads}");
+            }
         }
     }
 

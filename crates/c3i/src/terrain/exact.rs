@@ -83,7 +83,7 @@ pub fn exact_per_threat_masking(
     threat: &GroundThreat,
     step: f64,
 ) -> (Region, ScratchAlt) {
-    let region = Region::of(threat, terrain.x_size(), terrain.y_size());
+    let region = Region::of_checked(threat, terrain.x_size(), terrain.y_size());
     let h_s = sensor_height(terrain, threat);
     let mut out = ScratchAlt::new(&region, f64::INFINITY);
     for (x, y) in region.cells() {

@@ -29,11 +29,23 @@ use sthreads::{multithreaded_for, OpRecorder, Schedule};
 /// grid as Programs 3 and 4 bit-for-bit. `n_threads` is the worker count
 /// used for every inner parallel loop.
 pub fn terrain_masking_fine_host(scenario: &TerrainScenario, n_threads: usize) -> Grid<f64> {
+    terrain_masking_fine_host_sched(scenario, n_threads, Schedule::Stealing)
+}
+
+/// [`terrain_masking_fine_host`] with an explicit schedule for the ring
+/// loops. Each ring cell writes its own result slot, so the grid is
+/// bit-identical under every schedule — the differential fuzzer runs the
+/// full schedule matrix through here.
+pub fn terrain_masking_fine_host_sched(
+    scenario: &TerrainScenario,
+    n_threads: usize,
+    schedule: Schedule,
+) -> Grid<f64> {
     let terrain = &scenario.terrain;
     let mut masking = Grid::new(terrain.x_size(), terrain.y_size(), f64::INFINITY);
 
     for threat in &scenario.threats {
-        let region = Region::of(threat, terrain.x_size(), terrain.y_size());
+        let region = Region::of_checked(threat, terrain.x_size(), terrain.y_size());
         let h_s = sensor_height(terrain, threat);
         let cells: Vec<(usize, usize)> = region.cells().collect();
 
@@ -63,9 +75,9 @@ pub fn terrain_masking_fine_host(scenario: &TerrainScenario, n_threads: usize) -
                 let ring_ref = &ring;
                 let results_ref = &results;
                 // Rings are the sub-microsecond case (a few hundred cells,
-                // ~100ns each): the stealing schedule keeps each worker on
-                // a contiguous arc without a shared claim counter.
-                multithreaded_for(0..ring.len(), n_threads, Schedule::Stealing, |i| {
+                // ~100ns each): the default stealing schedule keeps each
+                // worker on a contiguous arc without a shared claim counter.
+                multithreaded_for(0..ring.len(), n_threads, schedule, |i| {
                     let (x, y) = ring_ref[i];
                     let v = raw_alt_for_cell(
                         terrain,
@@ -125,7 +137,7 @@ pub fn terrain_masking_fine(scenario: &TerrainScenario) -> (Grid<f64>, PhasedPro
     }
 
     for threat in &scenario.threats {
-        let region = Region::of(threat, terrain.x_size(), terrain.y_size());
+        let region = Region::of_checked(threat, terrain.x_size(), terrain.y_size());
         let h_s = sensor_height(terrain, threat);
         let cells: Vec<(usize, usize)> = region.cells().collect();
         serial.load(4);
@@ -228,6 +240,18 @@ mod tests {
         for threads in [1, 2, 4] {
             let fine = terrain_masking_fine_host(&s, threads);
             assert_eq!(fine, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_schedule_matches_sequential_bitwise() {
+        let s = small_scenario(6);
+        let seq = terrain_masking_host(&s);
+        for schedule in [Schedule::Static, Schedule::Dynamic, Schedule::Stealing] {
+            for threads in [1, 2, 8] {
+                let fine = terrain_masking_fine_host_sched(&s, threads, schedule);
+                assert_eq!(fine, seq, "{schedule:?} threads={threads}");
+            }
         }
     }
 

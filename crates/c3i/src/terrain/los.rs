@@ -43,23 +43,61 @@ pub struct Region {
     pub y1: usize,
 }
 
+/// Error returned by [`Region::of`] for a threat whose radar cell lies
+/// outside the grid. A malformed (hand-edited or fuzz-replayed) scenario
+/// fails with this instead of panicking deep inside a program variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OffGridThreat {
+    /// Radar cell of the offending threat.
+    pub at: (usize, usize),
+    /// Grid dimensions the threat was checked against.
+    pub grid: (usize, usize),
+}
+
+impl std::fmt::Display for OffGridThreat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "threat at {:?} is outside the {:?} grid",
+            self.at, self.grid
+        )
+    }
+}
+
+impl std::error::Error for OffGridThreat {}
+
 impl Region {
-    /// The region of influence of `threat` on an `x_size × y_size` grid.
-    pub fn of(threat: &GroundThreat, x_size: usize, y_size: usize) -> Self {
-        assert!(
-            threat.x < x_size && threat.y < y_size,
-            "threat must be on the grid"
-        );
+    /// The region of influence of `threat` on an `x_size × y_size` grid,
+    /// or an [`OffGridThreat`] error if the radar cell is off the grid.
+    ///
+    /// Program variants call this through [`Region::of_checked`]'s
+    /// `expect` after scenario validation; callers handling untrusted
+    /// input (the fuzzer, corpus replay) match on the `Result`.
+    pub fn of(threat: &GroundThreat, x_size: usize, y_size: usize) -> Result<Self, OffGridThreat> {
+        if threat.x >= x_size || threat.y >= y_size {
+            return Err(OffGridThreat {
+                at: (threat.x, threat.y),
+                grid: (x_size, y_size),
+            });
+        }
         let r = threat.radius;
-        Self {
+        Ok(Self {
             cx: threat.x,
             cy: threat.y,
             radius: r,
             x0: threat.x.saturating_sub(r),
             y0: threat.y.saturating_sub(r),
-            x1: (threat.x + r).min(x_size - 1),
-            y1: (threat.y + r).min(y_size - 1),
-        }
+            x1: threat.x.saturating_add(r).min(x_size - 1),
+            y1: threat.y.saturating_add(r).min(y_size - 1),
+        })
+    }
+
+    /// [`Region::of`] for callers that have already validated the scenario
+    /// (see `TerrainScenario::validate`): panics with the underlying error
+    /// message on an off-grid threat instead of returning it.
+    pub fn of_checked(threat: &GroundThreat, x_size: usize, y_size: usize) -> Self {
+        Self::of(threat, x_size, y_size)
+            .unwrap_or_else(|e| panic!("{e} (run TerrainScenario::validate first)"))
     }
 
     /// Number of cells in the clipped bounding box.
@@ -323,7 +361,7 @@ pub fn per_threat_masking(
     cell_size: f64,
     threat: &GroundThreat,
 ) -> (Region, ScratchAlt) {
-    let region = Region::of(threat, terrain.x_size(), terrain.y_size());
+    let region = Region::of_checked(threat, terrain.x_size(), terrain.y_size());
     let mut scratch = ScratchAlt::new(&region, f64::INFINITY);
     compute_raw_alts(
         terrain,
@@ -367,15 +405,41 @@ mod tests {
             radius: 5,
             mast_height: 10.0,
         };
-        let r = Region::of(&t, 10, 10);
+        let r = Region::of_checked(&t, 10, 10);
         assert_eq!((r.x0, r.y0, r.x1, r.y1), (0, 0, 7, 8));
         assert_eq!(r.n_cells(), 8 * 9);
     }
 
     #[test]
+    fn off_grid_threat_is_an_error_not_a_panic() {
+        let t = GroundThreat {
+            x: 10,
+            y: 3,
+            radius: 2,
+            mast_height: 10.0,
+        };
+        let err = Region::of(&t, 10, 10).unwrap_err();
+        assert_eq!(err.at, (10, 3));
+        assert_eq!(err.grid, (10, 10));
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn huge_radius_clips_without_overflow() {
+        let t = GroundThreat {
+            x: 0,
+            y: 0,
+            radius: usize::MAX - 1,
+            mast_height: 10.0,
+        };
+        let r = Region::of(&t, 5, 5).unwrap();
+        assert_eq!((r.x0, r.y0, r.x1, r.y1), (0, 0, 4, 4));
+    }
+
+    #[test]
     fn ring_cells_have_exact_chebyshev_distance() {
         let t = center_threat(41, 15);
-        let r = Region::of(&t, 41, 41);
+        let r = Region::of_checked(&t, 41, 41);
         for k in 0..=15 {
             let ring = r.ring(k);
             assert!(!ring.is_empty());
@@ -399,7 +463,7 @@ mod tests {
             radius: 6,
             mast_height: 10.0,
         };
-        let r = Region::of(&t, 20, 20);
+        let r = Region::of_checked(&t, 20, 20);
         let mut from_rings: Vec<(usize, usize)> = (0..=6).flat_map(|k| r.ring(k)).collect();
         from_rings.sort_unstable();
         let mut all: Vec<(usize, usize)> = r.cells().collect();
@@ -524,7 +588,7 @@ mod tests {
             g
         };
         let t = center_threat(25, 10);
-        let region = Region::of(&t, 25, 25);
+        let region = Region::of_checked(&t, 25, 25);
 
         let mut scratch = ScratchAlt::new(&region, f64::INFINITY);
         compute_raw_alts(&terrain, 100.0, &t, &region, &mut scratch, &mut NoRec);
@@ -543,7 +607,7 @@ mod tests {
     fn recurrence_records_memory_heavy_ops() {
         let terrain = flat_terrain(33, 50.0);
         let t = center_threat(33, 12);
-        let region = Region::of(&t, 33, 33);
+        let region = Region::of_checked(&t, 33, 33);
         let mut scratch = ScratchAlt::new(&region, f64::INFINITY);
         let mut r = sthreads::OpRecorder::new();
         compute_raw_alts(&terrain, 100.0, &t, &region, &mut scratch, &mut r);
@@ -563,7 +627,7 @@ mod tests {
     #[test]
     fn scratch_words_match_region_size() {
         let t = center_threat(101, 30);
-        let region = Region::of(&t, 101, 101);
+        let region = Region::of_checked(&t, 101, 101);
         let scratch = ScratchAlt::new(&region, 0.0);
         assert_eq!(scratch.words(), 61 * 61);
     }

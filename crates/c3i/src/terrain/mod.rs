@@ -44,15 +44,17 @@ pub mod sequential;
 pub mod verify;
 
 pub use coarse::{
-    greedy_bins, per_threat_counts, terrain_masking_coarse, terrain_masking_coarse_host, Blocking,
+    greedy_bins, per_threat_counts, terrain_masking_coarse, terrain_masking_coarse_host,
+    terrain_masking_coarse_host_sched, Blocking,
 };
 pub use exact::{compare_with_recurrence, exact_blocking_slope, exact_per_threat_masking};
-pub use fine::{terrain_masking_fine, terrain_masking_fine_host};
-pub use los::{per_threat_masking, Region};
+pub use fine::{terrain_masking_fine, terrain_masking_fine_host, terrain_masking_fine_host_sched};
+pub use los::{per_threat_masking, OffGridThreat, Region};
 pub use render::{render_grid, render_masking, render_terrain};
 pub use route::{altitude_sweep, exposed_fraction, is_exposed, plan_route, Route};
 pub use scenario::{
-    benchmark_suite, generate, small_scenario, GroundThreat, TerrainScenario, TerrainScenarioParams,
+    benchmark_suite, generate, small_scenario, GroundThreat, TerrainScenario, TerrainScenarioError,
+    TerrainScenarioParams,
 };
 pub use sequential::{terrain_masking, terrain_masking_host, terrain_masking_profile};
 pub use verify::{verify_masking, TerrainVerifyError};

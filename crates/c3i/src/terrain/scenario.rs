@@ -37,6 +37,121 @@ pub struct TerrainScenario {
     pub cell_size_m: f64,
 }
 
+/// Why a [`TerrainScenario`] is malformed (see [`TerrainScenario::validate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TerrainScenarioError {
+    /// The terrain grid has zero cells.
+    EmptyTerrain,
+    /// The cell size is not a finite positive number.
+    BadCellSize(f64),
+    /// A terrain elevation is NaN or infinite.
+    NonFiniteElevation {
+        /// Offending cell.
+        cell: (usize, usize),
+        /// Elevation found there.
+        value: f64,
+    },
+    /// A threat sits outside the terrain grid.
+    OffGridThreat {
+        /// Index of the threat in the scenario.
+        index: usize,
+        /// Threat coordinates.
+        at: (usize, usize),
+        /// Grid dimensions.
+        grid: (usize, usize),
+    },
+    /// A threat's radius is absurdly large for the grid (every ring beyond
+    /// the grid diagonal is empty, so the recurrence would spin on nothing).
+    HugeRadius {
+        /// Index of the threat in the scenario.
+        index: usize,
+        /// Radius found.
+        radius: usize,
+    },
+    /// A threat's mast height is NaN or infinite.
+    NonFiniteMast {
+        /// Index of the threat in the scenario.
+        index: usize,
+        /// Mast height found.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for TerrainScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TerrainScenarioError::EmptyTerrain => write!(f, "terrain grid has zero cells"),
+            TerrainScenarioError::BadCellSize(v) => {
+                write!(f, "cell size must be finite and positive, got {v}")
+            }
+            TerrainScenarioError::NonFiniteElevation { cell, value } => {
+                write!(f, "elevation at {cell:?} is not finite: {value}")
+            }
+            TerrainScenarioError::OffGridThreat { index, at, grid } => {
+                write!(f, "threat {index} at {at:?} is outside the {grid:?} grid")
+            }
+            TerrainScenarioError::HugeRadius { index, radius } => {
+                write!(f, "threat {index} has absurd radius {radius}")
+            }
+            TerrainScenarioError::NonFiniteMast { index, value } => {
+                write!(f, "threat {index} mast height is not finite: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TerrainScenarioError {}
+
+impl TerrainScenario {
+    /// Check the scenario invariants every program variant assumes: a
+    /// non-empty grid of finite elevations, a finite positive cell size,
+    /// and threats that sit on the grid with sane radii and finite masts.
+    ///
+    /// The generators in this module always produce valid scenarios; this
+    /// is the guard for *loaded* inputs (corpus replay, fuzzing, JSON
+    /// files), so a malformed scenario fails with an error instead of
+    /// panicking deep inside a recurrence.
+    pub fn validate(&self) -> Result<(), TerrainScenarioError> {
+        if self.terrain.is_empty() {
+            return Err(TerrainScenarioError::EmptyTerrain);
+        }
+        if !(self.cell_size_m.is_finite() && self.cell_size_m > 0.0) {
+            return Err(TerrainScenarioError::BadCellSize(self.cell_size_m));
+        }
+        for (x, y, &v) in self.terrain.iter_cells() {
+            if !v.is_finite() {
+                return Err(TerrainScenarioError::NonFiniteElevation {
+                    cell: (x, y),
+                    value: v,
+                });
+            }
+        }
+        let (xs, ys) = (self.terrain.x_size(), self.terrain.y_size());
+        for (i, t) in self.threats.iter().enumerate() {
+            if t.x >= xs || t.y >= ys {
+                return Err(TerrainScenarioError::OffGridThreat {
+                    index: i,
+                    at: (t.x, t.y),
+                    grid: (xs, ys),
+                });
+            }
+            if t.radius > xs + ys {
+                return Err(TerrainScenarioError::HugeRadius {
+                    index: i,
+                    radius: t.radius,
+                });
+            }
+            if !t.mast_height.is_finite() {
+                return Err(TerrainScenarioError::NonFiniteMast {
+                    index: i,
+                    value: t.mast_height,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Generation parameters for a synthetic scenario.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TerrainScenarioParams {
@@ -131,7 +246,11 @@ pub fn generate(params: TerrainScenarioParams) -> TerrainScenario {
     let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ 0x7e44_a1ee_0000_0000);
 
     // Build fractal terrain at the next power-of-two-plus-one size and crop.
-    let levels = (params.grid_size.max(2) as f64).log2().ceil() as u32;
+    // Integer arithmetic: `2^levels + 1 >= grid_size` must hold *exactly*,
+    // or the crop below would index past the fractal grid. The previous
+    // float form (`log2().ceil()`) could round an exact or near power of
+    // two down a level for large sizes.
+    let levels = params.grid_size.max(2).next_power_of_two().ilog2();
     let raw = diamond_square(levels, 0.55, &mut rng);
     // Normalize to [0, relief_m].
     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -144,13 +263,22 @@ pub fn generate(params: TerrainScenarioParams) -> TerrainScenario {
         (raw[(x, y)] - lo) / span * params.relief_m
     });
 
-    // Threat radii: up to the 5% cap, with a floor that keeps regions
-    // non-trivial. A Chebyshev-radius-R region covers (2R+1)^2 cells.
+    // Threat radii: up to the 5% cap. A Chebyshev-radius-R region covers
+    // (2R+1)^2 cells, so the cap radius is the largest R with
+    // (2R+1)^2 <= max_region_fraction * area. The radius is additionally
+    // clamped to the grid: a radius beyond `grid_size - 1` is pure
+    // clipping. On small grids the cap can force the radius all the way
+    // to 0 (a single-cell region) — an unconditional floor here used to
+    // let radius-2 regions exceed the cap or even swallow a tiny grid.
     let area = (params.grid_size * params.grid_size) as f64;
-    let r_max = (((params.max_region_fraction * area).sqrt() - 1.0) / 2.0)
-        .floor()
-        .max(2.0) as usize;
-    let r_min = (r_max / 3).max(2);
+    let max_cells = params.max_region_fraction * area;
+    let r_cap = if max_cells >= 1.0 {
+        ((max_cells.sqrt() - 1.0) / 2.0).floor() as usize
+    } else {
+        0
+    };
+    let r_max = r_cap.min(params.grid_size.saturating_sub(1));
+    let r_min = (r_max / 3).max(2).min(r_max);
 
     let threats = (0..params.n_threats)
         .map(|_| GroundThreat {
@@ -231,17 +359,103 @@ mod tests {
 
     #[test]
     fn regions_respect_the_five_percent_cap() {
-        let s = generate(TerrainScenarioParams::default());
-        let area = (s.terrain.x_size() * s.terrain.y_size()) as f64;
-        for t in &s.threats {
-            let cells = ((2 * t.radius + 1) * (2 * t.radius + 1)) as f64;
-            assert!(
-                cells <= 0.05 * area + 1.0,
-                "region of radius {} covers {} cells > 5% of {}",
-                t.radius,
-                cells,
-                area
-            );
+        // The cap must hold for *every* grid size, not just the benchmark
+        // default — tiny and non-power-of-two grids used to slip through
+        // the old radius floor (a radius-2 region on a 4x4 grid covers
+        // more cells than the whole grid).
+        for grid_size in [
+            1usize, 2, 3, 4, 5, 7, 8, 9, 16, 17, 23, 33, 64, 100, 128, 1024,
+        ] {
+            let s = generate(TerrainScenarioParams {
+                grid_size,
+                n_threats: 8,
+                ..TerrainScenarioParams::default()
+            });
+            let area = (s.terrain.x_size() * s.terrain.y_size()) as f64;
+            for t in &s.threats {
+                let cells = ((2 * t.radius + 1) * (2 * t.radius + 1)) as f64;
+                assert!(
+                    cells <= 0.05 * area + 1.0,
+                    "grid {grid_size}: region of radius {} covers {} cells > 5% of {}",
+                    t.radius,
+                    cells,
+                    area
+                );
+                assert!(
+                    t.radius < grid_size.max(1),
+                    "grid {grid_size}: radius {} exceeds the grid",
+                    t.radius
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generated_scenarios_validate_at_every_size() {
+        for grid_size in [1usize, 2, 3, 5, 8, 17, 33, 100] {
+            let s = generate(TerrainScenarioParams {
+                grid_size,
+                n_threats: 6,
+                seed: 11,
+                ..TerrainScenarioParams::default()
+            });
+            s.validate()
+                .unwrap_or_else(|e| panic!("grid {grid_size}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_scenarios() {
+        let mut s = small_scenario(1);
+        s.threats[0].x = 10_000;
+        assert!(matches!(
+            s.validate(),
+            Err(TerrainScenarioError::OffGridThreat { index: 0, .. })
+        ));
+
+        let mut s = small_scenario(1);
+        s.terrain[(3, 4)] = f64::NAN;
+        assert!(matches!(
+            s.validate(),
+            Err(TerrainScenarioError::NonFiniteElevation { cell: (3, 4), .. })
+        ));
+
+        let mut s = small_scenario(1);
+        s.cell_size_m = 0.0;
+        assert!(matches!(
+            s.validate(),
+            Err(TerrainScenarioError::BadCellSize(_))
+        ));
+
+        let mut s = small_scenario(1);
+        s.threats[2].radius = usize::MAX;
+        assert!(matches!(
+            s.validate(),
+            Err(TerrainScenarioError::HugeRadius { index: 2, .. })
+        ));
+
+        let mut s = small_scenario(1);
+        s.threats[1].mast_height = f64::INFINITY;
+        assert!(matches!(
+            s.validate(),
+            Err(TerrainScenarioError::NonFiniteMast { index: 1, .. })
+        ));
+
+        assert_eq!(small_scenario(1).validate(), Ok(()));
+    }
+
+    #[test]
+    fn power_of_two_and_tiny_grids_generate_at_exact_size() {
+        // Regression for the float level computation: exact powers of two
+        // must never round down to a fractal grid smaller than the crop.
+        for grid_size in [1usize, 2, 3, 4, 8, 16, 64, 256, 512, 1023, 1024, 1025] {
+            let s = generate(TerrainScenarioParams {
+                grid_size,
+                n_threats: 1,
+                ..TerrainScenarioParams::default()
+            });
+            assert_eq!(s.terrain.x_size(), grid_size);
+            assert_eq!(s.terrain.y_size(), grid_size);
         }
     }
 

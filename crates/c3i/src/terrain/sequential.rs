@@ -26,7 +26,7 @@ pub fn terrain_masking<R: Rec>(scenario: &TerrainScenario, r: &mut R) -> Grid<f6
     r.sstore(masking.len() as u64); // masking[x][y] = INFINITY
 
     for threat in &scenario.threats {
-        let region = Region::of(threat, terrain.x_size(), terrain.y_size());
+        let region = Region::of_checked(threat, terrain.x_size(), terrain.y_size());
         r.load(4); // threat record
         r.int(8); // region bounds
 
@@ -94,7 +94,7 @@ mod tests {
         let regions: Vec<Region> = s
             .threats
             .iter()
-            .map(|t| Region::of(t, s.terrain.x_size(), s.terrain.y_size()))
+            .map(|t| Region::of_checked(t, s.terrain.x_size(), s.terrain.y_size()))
             .collect();
         let mut outside_seen = 0;
         for (x, y, &v) in masking.iter_cells() {
@@ -119,7 +119,7 @@ mod tests {
         let regions: Vec<Region> = s
             .threats
             .iter()
-            .map(|t| Region::of(t, s.terrain.x_size(), s.terrain.y_size()))
+            .map(|t| Region::of_checked(t, s.terrain.x_size(), s.terrain.y_size()))
             .collect();
         for (x, y, &v) in masking.iter_cells() {
             if regions.iter().any(|rg| rg.contains(x, y)) {

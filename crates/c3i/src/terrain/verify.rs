@@ -227,7 +227,7 @@ mod tests {
         let regions: Vec<Region> = s
             .threats
             .iter()
-            .map(|t| Region::of(t, s.terrain.x_size(), s.terrain.y_size()))
+            .map(|t| Region::of_checked(t, s.terrain.x_size(), s.terrain.y_size()))
             .collect();
         let (x, y) = m
             .iter_cells()

@@ -34,30 +34,37 @@ pub const FINE_SLOTS_PER_PAIR: usize = 4;
 /// threat, dynamically scheduled; output slots allocated with an atomic
 /// fetch-add (the host stand-in for the MTA's one-cycle `int_fetch_add`).
 pub fn threat_analysis_fine_host(scenario: &ThreatScenario, n_threads: usize) -> FineResult {
+    threat_analysis_fine_host_sched(scenario, n_threads, Schedule::Stealing)
+}
+
+/// [`threat_analysis_fine_host`] with an explicit schedule for the outer
+/// threat loop. Output order is nondeterministic regardless (the fetch-add
+/// race), so results compare equal as a *set* under every schedule — the
+/// comparison the differential fuzzer applies after `canonical` sorting.
+pub fn threat_analysis_fine_host_sched(
+    scenario: &ThreatScenario,
+    n_threads: usize,
+    schedule: Schedule,
+) -> FineResult {
     let n_slots = scenario.n_pairs() * FINE_SLOTS_PER_PAIR;
     let slots: Vec<OnceLock<Interval>> = (0..n_slots).map(|_| OnceLock::new()).collect();
     let num_intervals = SyncCounter::new(0);
 
-    // Per-threat tasks are short and irregular; the stealing schedule
-    // rebalances them without the shared claim counter (output order is
-    // already nondeterministic, so the schedule change is unobservable).
-    multithreaded_for(
-        0..scenario.threats.len(),
-        n_threads,
-        Schedule::Stealing,
-        |ti| {
-            let threat = &scenario.threats[ti];
-            for (wi, weapon) in scenario.weapons.iter().enumerate() {
-                intervals_for_pair(ti as u32, wi as u32, threat, weapon, &mut NoRec, |iv| {
-                    let slot = num_intervals.fetch_add(1) as usize;
-                    assert!(slot < n_slots, "fine-grained slot array overflow");
-                    slots[slot]
-                        .set(iv)
-                        .expect("slot allocated twice — fetch_add must hand out unique slots");
-                });
-            }
-        },
-    );
+    // Per-threat tasks are short and irregular; the default stealing
+    // schedule rebalances them without the shared claim counter (output
+    // order is already nondeterministic, so the schedule is unobservable).
+    multithreaded_for(0..scenario.threats.len(), n_threads, schedule, |ti| {
+        let threat = &scenario.threats[ti];
+        for (wi, weapon) in scenario.weapons.iter().enumerate() {
+            intervals_for_pair(ti as u32, wi as u32, threat, weapon, &mut NoRec, |iv| {
+                let slot = num_intervals.fetch_add(1) as usize;
+                assert!(slot < n_slots, "fine-grained slot array overflow");
+                slots[slot]
+                    .set(iv)
+                    .expect("slot allocated twice — fetch_add must hand out unique slots");
+            });
+        }
+    });
 
     let n = num_intervals.get() as usize;
     let intervals = slots[..n]
@@ -114,6 +121,19 @@ mod tests {
         for threads in [1, 2, 4, 8] {
             let fine = canonical(threat_analysis_fine_host(&s, threads).intervals);
             assert_eq!(fine, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_schedule_matches_sequential_as_a_set() {
+        let s = small_scenario(1);
+        let seq = canonical(threat_analysis_host(&s));
+        for schedule in [Schedule::Static, Schedule::Dynamic, Schedule::Stealing] {
+            for threads in [1, 2, 8] {
+                let fine =
+                    canonical(threat_analysis_fine_host_sched(&s, threads, schedule).intervals);
+                assert_eq!(fine, seq, "{schedule:?} threads={threads}");
+            }
         }
     }
 

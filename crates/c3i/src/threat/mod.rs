@@ -42,12 +42,16 @@ pub mod scenario;
 pub mod sequential;
 pub mod verify;
 
-pub use chunked::{threat_analysis_chunked, threat_analysis_chunked_host, ChunkedResult};
+pub use chunked::{
+    threat_analysis_chunked, threat_analysis_chunked_host, threat_analysis_chunked_host_sched,
+    ChunkedResult,
+};
 pub use engagement::{coverage, schedule_exhaustive, schedule_greedy, Engagement, Plan};
-pub use fine::{threat_analysis_fine, threat_analysis_fine_host};
+pub use fine::{threat_analysis_fine, threat_analysis_fine_host, threat_analysis_fine_host_sched};
 pub use model::{can_intercept, Interval, Threat, Weapon, TIME_STEP};
 pub use scenario::{
-    benchmark_suite, generate, small_scenario, ThreatScenario, ThreatScenarioParams,
+    benchmark_suite, generate, small_scenario, ThreatScenario, ThreatScenarioError,
+    ThreatScenarioParams,
 };
 pub use sequential::{
     per_threat_counts, threat_analysis, threat_analysis_host, threat_analysis_profile,

@@ -23,10 +23,143 @@ pub struct ThreatScenario {
     pub weapons: Vec<Weapon>,
 }
 
+/// Why a [`ThreatScenario`] was rejected by [`ThreatScenario::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThreatScenarioError {
+    /// A threat or weapon field is NaN or infinite.
+    NonFinite {
+        /// `"threat"` or `"weapon"`.
+        kind: &'static str,
+        /// Index into the corresponding scenario vector.
+        index: usize,
+    },
+    /// A threat's flight time is not strictly positive.
+    NonPositiveFlightTime {
+        /// Index into `threats`.
+        index: usize,
+    },
+    /// A threat's timeline extends past [`MAX_TIMELINE_S`], which would
+    /// make the second-by-second interval scan effectively unbounded
+    /// (`Threat::last_step` saturates at `u32::MAX` steps).
+    TimelineTooLong {
+        /// Index into `threats`.
+        index: usize,
+        /// `launch_time + flight_time` for that threat (s).
+        end_s: f64,
+    },
+    /// A threat's detect delay is negative or at least its flight time.
+    BadDetectDelay {
+        /// Index into `threats`.
+        index: usize,
+    },
+    /// A weapon's interceptor speed or maximum range is not positive, its
+    /// reaction time is negative, or its altitude band is inverted.
+    BadWeapon {
+        /// Index into `weapons`.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ThreatScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonFinite { kind, index } => {
+                write!(f, "{kind} {index} has a NaN or infinite field")
+            }
+            Self::NonPositiveFlightTime { index } => {
+                write!(f, "threat {index} has non-positive flight time")
+            }
+            Self::TimelineTooLong { index, end_s } => write!(
+                f,
+                "threat {index} timeline ends at {end_s} s, past the {MAX_TIMELINE_S} s bound"
+            ),
+            Self::BadDetectDelay { index } => write!(
+                f,
+                "threat {index} detect delay is negative or >= flight time"
+            ),
+            Self::BadWeapon { index } => write!(
+                f,
+                "weapon {index} has non-positive speed/range, negative reaction \
+                 time, or an inverted altitude band"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ThreatScenarioError {}
+
+/// Upper bound on `launch_time + flight_time` accepted by
+/// [`ThreatScenario::validate`] (s). The interval scan walks the timeline
+/// in 1 s steps, so an absurd impact time turns one (threat, weapon) pair
+/// into billions of iterations; generated scenarios stay far below this.
+pub const MAX_TIMELINE_S: f64 = 1_000_000.0;
+
 impl ThreatScenario {
     /// Number of (threat, weapon) pairs the benchmark examines.
     pub fn n_pairs(&self) -> usize {
         self.threats.len() * self.weapons.len()
+    }
+
+    /// Check the scenario invariants the analysis kernels assume.
+    ///
+    /// [`generate`] always produces valid scenarios; this exists for
+    /// untrusted inputs — fuzz-shrunk cases and hand-edited corpus files —
+    /// so a malformed scenario is rejected up front instead of hanging or
+    /// panicking inside a kernel.
+    pub fn validate(&self) -> Result<(), ThreatScenarioError> {
+        for (index, t) in self.threats.iter().enumerate() {
+            let fields = [
+                t.launch.0,
+                t.launch.1,
+                t.impact.0,
+                t.impact.1,
+                t.launch_time,
+                t.flight_time,
+                t.apex_height,
+                t.detect_delay,
+            ];
+            if fields.iter().any(|v| !v.is_finite()) {
+                return Err(ThreatScenarioError::NonFinite {
+                    kind: "threat",
+                    index,
+                });
+            }
+            if t.flight_time <= 0.0 {
+                return Err(ThreatScenarioError::NonPositiveFlightTime { index });
+            }
+            if t.detect_delay < 0.0 || t.detect_delay >= t.flight_time {
+                return Err(ThreatScenarioError::BadDetectDelay { index });
+            }
+            let end_s = t.launch_time + t.flight_time;
+            if t.launch_time < 0.0 || end_s > MAX_TIMELINE_S {
+                return Err(ThreatScenarioError::TimelineTooLong { index, end_s });
+            }
+        }
+        for (index, w) in self.weapons.iter().enumerate() {
+            let fields = [
+                w.pos.0,
+                w.pos.1,
+                w.interceptor_speed,
+                w.max_range,
+                w.min_alt,
+                w.max_alt,
+                w.reaction_time,
+            ];
+            if fields.iter().any(|v| !v.is_finite()) {
+                return Err(ThreatScenarioError::NonFinite {
+                    kind: "weapon",
+                    index,
+                });
+            }
+            if w.interceptor_speed <= 0.0
+                || w.max_range <= 0.0
+                || w.reaction_time < 0.0
+                || w.min_alt > w.max_alt
+            {
+                return Err(ThreatScenarioError::BadWeapon { index });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -184,6 +317,72 @@ mod tests {
             assert!(w.max_range > 0.0);
             assert!(w.min_alt < w.max_alt);
         }
+    }
+
+    #[test]
+    fn generated_scenarios_validate() {
+        for seed in 0..4 {
+            generate(ThreatScenarioParams {
+                seed,
+                ..Default::default()
+            })
+            .validate()
+            .unwrap();
+            small_scenario(seed).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_scenarios() {
+        let base = small_scenario(1);
+
+        let mut s = base.clone();
+        s.threats[3].apex_height = f64::NAN;
+        assert!(matches!(
+            s.validate(),
+            Err(ThreatScenarioError::NonFinite {
+                kind: "threat",
+                index: 3
+            })
+        ));
+
+        let mut s = base.clone();
+        s.threats[0].flight_time = 0.0;
+        assert!(matches!(
+            s.validate(),
+            Err(ThreatScenarioError::NonPositiveFlightTime { index: 0 })
+        ));
+
+        let mut s = base.clone();
+        s.threats[1].launch_time = 5.0e9;
+        assert!(matches!(
+            s.validate(),
+            Err(ThreatScenarioError::TimelineTooLong { index: 1, .. })
+        ));
+
+        let mut s = base.clone();
+        s.threats[2].detect_delay = s.threats[2].flight_time * 2.0;
+        assert!(matches!(
+            s.validate(),
+            Err(ThreatScenarioError::BadDetectDelay { index: 2 })
+        ));
+
+        let mut s = base.clone();
+        s.weapons[4].min_alt = s.weapons[4].max_alt + 1.0;
+        assert!(matches!(
+            s.validate(),
+            Err(ThreatScenarioError::BadWeapon { index: 4 })
+        ));
+
+        let mut s = base;
+        s.weapons[0].pos.1 = f64::INFINITY;
+        assert!(matches!(
+            s.validate(),
+            Err(ThreatScenarioError::NonFinite {
+                kind: "weapon",
+                index: 0
+            })
+        ));
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Property tests for the region-of-influence geometry under heavy
+//! clipping, and for the equivalence of the two `AltStore` backings.
+//!
+//! These pin the invariants the fuzzer's degenerate-terrain cases lean
+//! on: corner threats with radii far past the grid edge must still yield
+//! rings that exactly partition the clipped region, and Program 4's
+//! bounding-box scratch array must be indistinguishable from a
+//! full-grid store for any line-of-sight computation.
+
+use c3i::terrain::los::{compute_raw_alts, AltStore, Region, ScratchAlt};
+use c3i::terrain::GroundThreat;
+use c3i::Grid;
+use c3i::NoRec;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Grid shapes plus threat placements that force clipping on one or more
+/// sides: corners, edge midpoints, and interior cells, with radii from 0
+/// up to twice the grid perimeter bound.
+fn arb_clipped_region() -> impl Strategy<Value = (usize, usize, GroundThreat)> {
+    (1usize..24, 1usize..24).prop_flat_map(|(xs, ys)| {
+        let placements = prop_oneof![
+            Just((0, 0)),
+            Just((xs - 1, 0)),
+            Just((0, ys - 1)),
+            Just((xs - 1, ys - 1)),
+            Just((xs / 2, 0)),
+            Just((0, ys / 2)),
+            (0..xs, 0..ys),
+        ];
+        (placements, 0usize..2 * (xs + ys)).prop_map(move |((x, y), radius)| {
+            (
+                xs,
+                ys,
+                GroundThreat {
+                    x,
+                    y,
+                    radius,
+                    mast_height: 10.0,
+                },
+            )
+        })
+    })
+}
+
+/// Degenerate terrains the fuzzer generates: all-flat, a single spike,
+/// and a cliff wall splitting the grid.
+fn arb_degenerate_terrain() -> impl Strategy<Value = Grid<f64>> {
+    (2usize..24, 2usize..24).prop_flat_map(|(xs, ys)| {
+        prop_oneof![
+            // All-flat: every slope comparison ties.
+            (0.0..500.0f64).prop_map(move |h| Grid::new(xs, ys, h)),
+            // Single spike on flat ground.
+            (0..xs, 0..ys, 500.0..2000.0f64).prop_map(move |(sx, sy, peak)| Grid::from_fn(
+                xs,
+                ys,
+                |x, y| {
+                    if (x, y) == (sx, sy) {
+                        peak
+                    } else {
+                        25.0
+                    }
+                }
+            )),
+            // Cliff wall: a step function at column `wall`.
+            (0..xs, 900.0..1500.0f64).prop_map(move |(wall, hi)| Grid::from_fn(xs, ys, |x, _| {
+                if x < wall {
+                    10.0
+                } else {
+                    hi
+                }
+            })),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rings 0..=radius exactly partition the clipped region: every
+    /// surviving cell appears in exactly one ring, at exactly its
+    /// Chebyshev distance, no matter how hard the grid edge clips.
+    #[test]
+    fn rings_partition_the_clipped_region((xs, ys, threat) in arb_clipped_region()) {
+        let region = Region::of(&threat, xs, ys).expect("threat is on the grid");
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
+        for k in 0..=region.radius {
+            for (x, y) in region.ring(k) {
+                prop_assert!(x < xs && y < ys, "ring {k} leaked off-grid cell ({x},{y})");
+                let d = x.abs_diff(threat.x).max(y.abs_diff(threat.y));
+                prop_assert_eq!(d, k, "cell ({}, {}) in ring {} has distance {}", x, y, k, d);
+                prop_assert!(seen.insert((x, y)), "cell ({}, {}) appears twice", x, y);
+            }
+        }
+        let all: HashSet<(usize, usize)> = region.cells().collect();
+        prop_assert_eq!(seen, all, "rings must cover exactly the region's cells");
+    }
+
+    /// Ring enumeration is deterministic — the replay guarantee the
+    /// fuzzer's bit-identical comparisons rest on.
+    #[test]
+    fn ring_order_is_deterministic((xs, ys, threat) in arb_clipped_region()) {
+        let region = Region::of(&threat, xs, ys).expect("threat is on the grid");
+        for k in 0..=region.radius {
+            prop_assert_eq!(region.ring(k), region.ring(k));
+        }
+    }
+
+    /// A radius past both grid dimensions clips to the whole grid: the
+    /// region degenerates to the full rectangle.
+    #[test]
+    fn oversized_radius_covers_the_whole_grid(
+        (xs, ys) in (1usize..16, 1usize..16),
+        (fx, fy) in (0usize..16, 0usize..16),
+    ) {
+        let threat = GroundThreat {
+            x: fx.min(xs - 1),
+            y: fy.min(ys - 1),
+            radius: xs + ys,
+            mast_height: 0.0,
+        };
+        let region = Region::of(&threat, xs, ys).expect("threat is on the grid");
+        prop_assert_eq!(region.cells().count(), xs * ys);
+    }
+
+    /// Program 4's bounding-box scratch store computes bit-identical raw
+    /// altitudes to a full-grid store on degenerate terrains, for any
+    /// clipped region — the two `AltStore` backings are interchangeable.
+    #[test]
+    fn scratch_store_matches_full_grid_store(
+        terrain in arb_degenerate_terrain(),
+        (tx, ty, radius) in (0usize..24, 0usize..24, 0usize..64),
+        cell_size in prop_oneof![Just(1.0f64), Just(30.0), Just(100.0), Just(1000.0)],
+    ) {
+        let (xs, ys) = (terrain.x_size(), terrain.y_size());
+        let threat = GroundThreat {
+            x: tx.min(xs - 1),
+            y: ty.min(ys - 1),
+            radius,
+            mast_height: 12.0,
+        };
+        let region = Region::of(&threat, xs, ys).expect("threat is on the grid");
+
+        let mut scratch = ScratchAlt::new(&region, f64::INFINITY);
+        compute_raw_alts(&terrain, cell_size, &threat, &region, &mut scratch, &mut NoRec);
+
+        let mut full: Grid<f64> = Grid::new(xs, ys, f64::INFINITY);
+        compute_raw_alts(&terrain, cell_size, &threat, &region, &mut full, &mut NoRec);
+
+        for (x, y) in region.cells() {
+            let a = AltStore::get(&scratch, x, y);
+            let b = AltStore::get(&full, x, y);
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "cell ({}, {}): scratch {:?} != grid {:?}", x, y, a, b
+            );
+        }
+    }
+}

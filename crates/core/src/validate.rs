@@ -88,7 +88,7 @@ pub fn terrain_masking_trace(scenario: &TerrainScenario, max_threats: usize) -> 
     let terrain = &scenario.terrain;
     let xs = terrain.x_size();
     for threat in scenario.threats.iter().take(max_threats) {
-        let region = c3i::terrain::Region::of(threat, xs, terrain.y_size());
+        let region = c3i::terrain::Region::of_checked(threat, xs, terrain.y_size());
         let cell = |x: usize, y: usize| y * xs + x;
         // temp[c] = masking[c]
         for (x, y) in region.cells() {
@@ -183,7 +183,7 @@ pub fn terrain_masking_parallel_traces(
     let mut traces: Vec<Vec<Op>> = vec![Vec::new(); n_cpus];
     for (ti, threat) in scenario.threats.iter().take(max_threats).enumerate() {
         let trace = &mut traces[ti % n_cpus];
-        let region = c3i::terrain::Region::of(threat, xs, terrain.y_size());
+        let region = c3i::terrain::Region::of_checked(threat, xs, terrain.y_size());
         let cell = |x: usize, y: usize| y * xs + x;
         // Private temp arrays per cpu (disjoint address ranges).
         let temp_base = layout::TEMP + (ti % n_cpus) * 0x8_0000;

@@ -50,6 +50,8 @@ struct Options {
     profile: bool,
     gate: Option<String>,
     n_threads: Option<usize>,
+    fuzz: Option<usize>,
+    fuzz_seed: u64,
     sections: Vec<String>,
 }
 
@@ -64,6 +66,8 @@ fn parse_args() -> Options {
         profile: false,
         gate: None,
         n_threads: None,
+        fuzz: None,
+        fuzz_seed: 1,
         sections: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -82,6 +86,18 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 }))
             }
+            "--fuzz" => {
+                opts.fuzz = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--fuzz requires a case count");
+                    std::process::exit(2);
+                }))
+            }
+            "--fuzz-seed" => {
+                opts.fuzz_seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--fuzz-seed requires a u64 seed");
+                    std::process::exit(2);
+                })
+            }
             "--threads" => {
                 opts.n_threads =
                     Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -92,7 +108,8 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--reduced] [--no-cache] [--timing] [--profile] \
-                     [--gate FILE] [--threads N] [--csv DIR] [--json FILE] [--out FILE] \
+                     [--gate FILE] [--fuzz N] [--fuzz-seed S] [--threads N] [--csv DIR] \
+                     [--json FILE] [--out FILE] \
                      [tables|figures|utilization|autopar|scalability|all]..."
                 );
                 std::process::exit(0);
@@ -286,10 +303,75 @@ fn profile_report() -> String {
     out
 }
 
+/// `--fuzz N [--fuzz-seed S]`: run the differential fuzzing campaign and
+/// exit. Every generated scenario runs through sequential oracle ×
+/// {coarse, fine, chunked} × {Static, Dynamic, Stealing} × {1, 2, 8}
+/// workers; any failure is ddmin-minimized, written under
+/// `target/c3i-fuzz/`, and the process exits 1.
+fn run_fuzz(n_cases: usize, seed: u64, reduced: bool) -> ! {
+    use c3i_fuzz::CaseOutcome;
+    eprintln!(
+        "fuzz: {n_cases} cases, seed {seed}{} — oracle x {{coarse, fine, chunked}} x \
+         {{Static, Dynamic, Stealing}} x {{1, 2, 8}} workers",
+        if reduced { ", reduced sizes" } else { "" }
+    );
+    let report = c3i_fuzz::run_campaign(
+        &c3i_fuzz::CampaignConfig {
+            n_cases,
+            seed,
+            reduced,
+        },
+        |index, outcome| match outcome {
+            CaseOutcome::Passed => {
+                if (index + 1) % 25 == 0 {
+                    eprintln!("fuzz: {}/{n_cases} cases checked", index + 1);
+                }
+            }
+            CaseOutcome::Rejected(msg) => {
+                eprintln!("fuzz: case {index} rejected by validation: {msg}")
+            }
+            CaseOutcome::Failed(f) => eprintln!("fuzz: case {index} FAILED: {f}"),
+        },
+    );
+    println!(
+        "fuzz: {} cases — {} passed, {} rejected, {} failed (seed {seed})",
+        report.n_cases,
+        report.n_passed,
+        report.n_rejected,
+        report.failures.len()
+    );
+    if report.ok() {
+        std::process::exit(0);
+    }
+    let dir = std::path::Path::new("target/c3i-fuzz");
+    std::fs::create_dir_all(dir).expect("create target/c3i-fuzz");
+    for f in &report.failures {
+        let path = dir.join(format!("seed{seed}-case{}.json", f.index));
+        c3i_fuzz::save_case(&f.case, &path).expect("write minimized failure");
+        println!(
+            "fuzz: case {} minimized to {} — {}\n      reproduce: repro --fuzz {} --fuzz-seed {seed}\n      \
+             pin it: fix the bug, then copy {} into tests/corpus/",
+            f.index,
+            path.display(),
+            f.failure,
+            f.index + 1,
+            path.display()
+        );
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let opts = parse_args();
     if let Some(path) = &opts.gate {
         run_gate(path);
+    }
+    if let Some(n_cases) = opts.fuzz {
+        run_fuzz(
+            n_cases,
+            opts.fuzz_seed,
+            opts.scale == WorkloadScale::Reduced,
+        );
     }
     if opts.profile {
         // Enable the clock-reading tier up front so every phase below is

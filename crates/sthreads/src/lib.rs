@@ -93,7 +93,9 @@ pub use barrier::{reduce, Barrier};
 pub use counting::{OpCounts, OpRecorder, ThreadCounts};
 pub use deque::{Steal, StealDeque};
 pub use future::Future;
-pub use par_for::{multithreaded_for, par_map, ChunkBounds, ParFor, Schedule};
+pub use par_for::{
+    multithreaded_for, par_map, set_steal_seed, steal_seed, ChunkBounds, ParFor, Schedule,
+};
 pub use pool::{scope_threads, ThreadPool};
 pub use queue::WorkQueue;
 pub use stats::StatsSnapshot;

@@ -23,7 +23,29 @@ use crate::deque::{Steal, StealDeque, MAX_INDEX};
 use crate::pool::scope_threads;
 use crate::queue::WorkQueue;
 use crate::stats;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Process-global perturbation mixed into every stealing worker's victim
+/// RNG. Zero (the default) reproduces the historical victim order.
+static STEAL_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Set the seed perturbing victim selection in [`Schedule::Stealing`]
+/// regions — the deterministic-replay knob for differential fuzzing.
+///
+/// Victim order never affects *which* iterations run (each index is
+/// dispensed exactly once), only the interleaving; re-running a failing
+/// fuzz case under the seed it was found with reproduces the same victim
+/// sweeps, and varying the seed exercises fresh interleavings of the same
+/// scenario. Affects regions started after the call; process-global.
+pub fn set_steal_seed(seed: u64) {
+    STEAL_SEED.store(seed, Ordering::Relaxed);
+}
+
+/// The current steal-seed perturbation (see [`set_steal_seed`]).
+pub fn steal_seed() -> u64 {
+    STEAL_SEED.load(Ordering::Relaxed)
+}
 
 /// Iteration-to-thread assignment policy for [`multithreaded_for`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -288,11 +310,13 @@ impl ParFor {
                 StealDeque::new(start + r.start..start + r.end)
             })
             .collect();
+        let seed = steal_seed();
         scope_threads(n_threads, |t| {
             let own = &deques[t];
             // Cheap xorshift PRNG for victim order; seeded per worker so
-            // sweeps are decorrelated without any shared RNG state.
-            let mut rng = (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            // sweeps are decorrelated without any shared RNG state, and
+            // perturbed by the process-global replay seed.
+            let mut rng = ((t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed) | 1;
             loop {
                 // Fast path: drain the local deque in owner batches.
                 while let Some(batch) = own.pop(local_grain(own.remaining())) {
@@ -495,6 +519,17 @@ mod tests {
         for _ in 0..50 {
             check_each_index_once(Schedule::Stealing, 64, 8);
         }
+    }
+
+    #[test]
+    fn steal_seed_perturbs_victim_order_without_changing_coverage() {
+        let old = steal_seed();
+        for seed in [0u64, 1, 0xDEAD_BEEF] {
+            set_steal_seed(seed);
+            assert_eq!(steal_seed(), seed);
+            check_each_index_once(Schedule::Stealing, 512, 8);
+        }
+        set_steal_seed(old);
     }
 
     #[test]

@@ -59,7 +59,11 @@ fn main() {
         .threats
         .iter()
         .map(|t| {
-            let r = terrain::Region::of(t, scenario.terrain.x_size(), scenario.terrain.y_size());
+            let r = terrain::Region::of_checked(
+                t,
+                scenario.terrain.x_size(),
+                scenario.terrain.y_size(),
+            );
             r.n_cells()
         })
         .max()
