@@ -29,6 +29,20 @@ cargo test -q
 echo "== full workspace tests =="
 cargo test -q --workspace
 
+echo "== simd feature: build + tests + corpus replay =="
+# The `simd` feature swaps the LOS row sweeps onto explicit 4-wide lanes;
+# it is off by default so the pinned baselines stay scalar, and gated
+# here on producing bit-identical grids through the whole test suite and
+# the regression corpus.
+cargo test -q -p c3i -p c3i-fuzz --features c3i/simd
+cargo test -q --test corpus_replay --features c3i/simd
+
+echo "== kernels bench smoke (quick scale) =="
+# One pass over the per-kernel Criterion group at reduced sizes: proves
+# the bench target builds and runs; the paper-scale numbers live in
+# EXPERIMENTS.md and the BENCH_harness.json kernels phase.
+KERNELS_BENCH_QUICK=1 cargo bench -p bench --bench kernels > /dev/null
+
 echo "== harness self-timing (4 threads) =="
 # The tier-1 release build above only covers the root package (the
 # workspace root is itself a package), so build the harness CLI
@@ -52,14 +66,18 @@ echo "== pinned regression corpus replay =="
 # here so a corpus regression is named in CI output).
 cargo test -q --test corpus_replay
 
-echo "== harness regression gate (schema + identity + table-gen speedup) =="
+echo "== harness regression gate (schema + identity + speedups) =="
 # `repro --gate` parses the report against the extended schema (every
-# phase must carry a breakdown), fails if any phase's parallel output
-# diverged from sequential, and fails if the table-generation phase fell
-# below the 0.95x speedup gate. That last check is robust on throttled or
-# single-core CI hosts *because* of par_map's measured sequential cutoff:
-# when parallelism cannot pay for its own dispatch, the phase runs
-# sequentially and the ratio sits at ~1.0 instead of regressing.
+# phase must carry a breakdown, and the report must carry the kernels
+# phase), fails if any phase's parallel output diverged from sequential,
+# fails if the table-generation phase fell below the 0.95x speedup gate,
+# and fails if the run-based arena kernels fell below 1.5x over the
+# pinned scalar baseline on the terrain pipeline. The table-gen check is
+# robust on throttled or single-core CI hosts *because* of par_map's
+# measured sequential cutoff: when parallelism cannot pay for its own
+# dispatch, the phase runs sequentially and the ratio sits at ~1.0
+# instead of regressing. The kernels check compares two sequential runs,
+# so core count does not affect it.
 ./target/release/repro --gate BENCH_harness.json
 
 echo "CI OK"

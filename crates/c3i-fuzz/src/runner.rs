@@ -133,6 +133,26 @@ fn run_terrain_case(s: &terrain::TerrainScenario) -> CaseOutcome {
         });
     }
 
+    // Kernel differential: the pinned scalar baseline (historical
+    // fresh-allocation, cell-at-a-time recurrence) must agree bitwise
+    // with the run-based arena kernels the oracle now uses — and, when
+    // the crate is built with `--features simd`, with the vectorized row
+    // sweeps the oracle then takes.
+    {
+        let config = "terrain reference baseline";
+        match guarded(config, || terrain::terrain_masking_reference(s)) {
+            Err(f) => return CaseOutcome::Failed(f),
+            Ok(got) => {
+                if let Some(d) = first_grid_diff(&seq, &got) {
+                    return CaseOutcome::Failed(Failure {
+                        config: config.to_string(),
+                        detail: d,
+                    });
+                }
+            }
+        }
+    }
+
     for schedule in SCHEDULES {
         for workers in WORKER_COUNTS {
             let config = format!("terrain coarse {schedule:?} x{workers}");

@@ -15,6 +15,13 @@ use sthreads::{OpCounts, OpRecorder, ThreadCounts};
 /// operation (full/empty access, fetch-add, or lock transition), one
 /// `spawn` is one logical thread creation.
 pub trait Rec {
+    /// Whether this recorder actually accumulates counts. Kernels with a
+    /// batched fast path (the SoA engagement scan, the `simd` row sweep)
+    /// check this at compile time: when `true` they take the historical
+    /// stepwise path so recorded totals stay exactly those of the
+    /// reference code; when `false` (the [`NoRec`] timing path) they are
+    /// free to batch, since outputs are bit-identical either way.
+    const COUNTING: bool = true;
     /// Record `n` integer ALU operations.
     fn int(&mut self, n: u64);
     /// Record `n` floating-point operations.
@@ -38,6 +45,7 @@ pub trait Rec {
 pub struct NoRec;
 
 impl Rec for NoRec {
+    const COUNTING: bool = false;
     #[inline(always)]
     fn int(&mut self, _n: u64) {}
     #[inline(always)]

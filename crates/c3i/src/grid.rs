@@ -26,6 +26,18 @@ impl<T: Clone> Grid<T> {
             data: vec![fill; x_size * y_size],
         }
     }
+
+    /// Re-shape the grid to `x_size × y_size` and fill every cell with
+    /// `fill`, reusing the existing backing storage. Allocates only when
+    /// the new shape exceeds the retained capacity — the reuse hook the
+    /// per-thread kernel arenas lean on to keep the masking pipeline free
+    /// of hot-path allocations.
+    pub fn reset(&mut self, x_size: usize, y_size: usize, fill: T) {
+        self.x_size = x_size;
+        self.y_size = y_size;
+        self.data.clear();
+        self.data.resize(x_size * y_size, fill);
+    }
 }
 
 impl<T> Grid<T> {
@@ -87,12 +99,33 @@ impl<T> Grid<T> {
         &mut self.data
     }
 
+    /// Borrow row `y` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[T] {
+        debug_assert!(y < self.y_size);
+        &self.data[y * self.x_size..(y + 1) * self.x_size]
+    }
+
+    /// Mutably borrow row `y` as a contiguous slice.
+    #[inline]
+    pub fn row_mut(&mut self, y: usize) -> &mut [T] {
+        debug_assert!(y < self.y_size);
+        &mut self.data[y * self.x_size..(y + 1) * self.x_size]
+    }
+
+    /// Iterate the rows in `y` order, each as a contiguous slice — the
+    /// access pattern the row-sweep kernels are built around.
+    pub fn rows(&self) -> impl Iterator<Item = &[T]> {
+        // `max(1)` keeps the zero-width grid from panicking in
+        // `chunks_exact` (it has no rows to yield either way).
+        self.data.chunks_exact(self.x_size.max(1))
+    }
+
     /// Iterate `(x, y, &value)` in row-major order.
     pub fn iter_cells(&self) -> impl Iterator<Item = (usize, usize, &T)> {
-        self.data
-            .iter()
+        self.rows()
             .enumerate()
-            .map(move |(i, v)| (i % self.x_size, i / self.x_size, v))
+            .flat_map(|(y, row)| row.iter().enumerate().map(move |(x, v)| (x, y, v)))
     }
 }
 
@@ -174,5 +207,30 @@ mod tests {
         let g: Grid<u8> = Grid::new(0, 5, 0);
         assert!(g.is_empty());
         assert_eq!(g.iter_cells().count(), 0);
+        assert_eq!(g.rows().count(), 0);
+    }
+
+    #[test]
+    fn rows_cover_the_grid_in_order() {
+        let g = Grid::from_fn(3, 2, |x, y| 10 * y + x);
+        let rows: Vec<Vec<usize>> = g.rows().map(|r| r.to_vec()).collect();
+        assert_eq!(rows, vec![vec![0, 1, 2], vec![10, 11, 12]]);
+        assert_eq!(g.row(1), &[10, 11, 12]);
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut g = Grid::new(3, 2, 0u8);
+        g.row_mut(1).copy_from_slice(&[7, 8, 9]);
+        assert_eq!(g.as_slice(), &[0, 0, 0, 7, 8, 9]);
+    }
+
+    #[test]
+    fn reset_reshapes_without_growing_capacity() {
+        let mut g = Grid::new(8, 8, 1.5f64);
+        g[(3, 3)] = 9.0;
+        g.reset(5, 4, 0.0);
+        assert_eq!((g.x_size(), g.y_size(), g.len()), (5, 4, 20));
+        assert!(g.as_slice().iter().all(|&v| v == 0.0));
     }
 }

@@ -14,7 +14,7 @@
 //! this approach drowns in memory for the hundreds of threads the Tera MTA
 //! wants.
 
-use super::los::{clamp_alt, compute_raw_alts, Region, ScratchAlt};
+use super::los::{clamp_alt, compute_raw_alts_in, KernelArena, Region};
 use super::scenario::TerrainScenario;
 use crate::counts::{NoRec, Profile, Rec};
 use crate::grid::Grid;
@@ -134,35 +134,50 @@ fn process_threat<R: Rec>(
     r.load(4);
     r.int(8);
 
-    // temp[x][y] = INFINITY over the region of influence.
-    let mut temp = ScratchAlt::new(&region, f64::INFINITY);
-    r.sstore(region.n_cells() as u64);
+    // Working storage (the per-thread temp array and the ring kernel
+    // tables) comes from this worker thread's arena, reused across every
+    // threat the worker claims.
+    KernelArena::with(|arena| {
+        let (temp, kern) = arena.split();
 
-    // temp[x][y] = maximum safe altitude due to this threat.
-    compute_raw_alts(terrain, scenario.cell_size_m, threat, &region, &mut temp, r);
+        // temp[x][y] = INFINITY over the region of influence.
+        temp.reset(&region, f64::INFINITY);
+        r.sstore(region.n_cells() as u64);
 
-    // Merge into the shared masking array block by block, locking each
-    // block around its overlap.
-    for (bi, bj) in blocking.blocks_overlapping(&region) {
-        let _guard = locks.map(|l| l[bi * blocking.nb() + bj].lock());
-        r.sync(2); // lock + unlock
-        let (bx0, by0, bx1, by1) = blocking.block_bounds(bi, bj);
-        let x0 = bx0.max(region.x0);
-        let x1 = bx1.min(region.x1);
-        let y0 = by0.max(region.y0);
-        let y1 = by1.min(region.y1);
-        for y in y0..=y1 {
-            for x in x0..=x1 {
-                use super::los::AltStore;
-                let per_threat = clamp_alt(temp.get(x, y), terrain[(x, y)]);
-                let prior = masking.get(x, y);
-                masking.set(x, y, per_threat.min(prior));
-                r.sload(3);
-                r.fp(2);
-                r.sstore(1);
+        // temp[x][y] = maximum safe altitude due to this threat.
+        compute_raw_alts_in(
+            terrain,
+            scenario.cell_size_m,
+            threat,
+            &region,
+            temp,
+            kern,
+            r,
+        );
+
+        // Merge into the shared masking array block by block, locking each
+        // block around its overlap.
+        for (bi, bj) in blocking.blocks_overlapping(&region) {
+            let _guard = locks.map(|l| l[bi * blocking.nb() + bj].lock());
+            r.sync(2); // lock + unlock
+            let (bx0, by0, bx1, by1) = blocking.block_bounds(bi, bj);
+            let x0 = bx0.max(region.x0);
+            let x1 = bx1.min(region.x1);
+            let y0 = by0.max(region.y0);
+            let y1 = by1.min(region.y1);
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    use super::los::AltStore;
+                    let per_threat = clamp_alt(temp.get(x, y), terrain[(x, y)]);
+                    let prior = masking.get(x, y);
+                    masking.set(x, y, per_threat.min(prior));
+                    r.sload(3);
+                    r.fp(2);
+                    r.sstore(1);
+                }
             }
         }
-    }
+    });
 }
 
 /// Coarse-grained Terrain Masking (Program 4) on real host threads:

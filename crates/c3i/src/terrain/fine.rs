@@ -18,7 +18,9 @@
 //! cells per ring is far too little work to amortize OS-thread
 //! synchronization.
 
-use super::los::{clamp_alt, raw_alt_for_cell, sensor_height, AltStore, Region, ScratchAlt};
+use super::los::{
+    clamp_alt, raw_alt_for_cell, sensor_height, AltStore, KernelArena, Region, ScratchAlt,
+};
 use super::scenario::TerrainScenario;
 use crate::counts::{NoRec, ParallelPhase, PhasedProfile};
 use crate::grid::Grid;
@@ -44,73 +46,88 @@ pub fn terrain_masking_fine_host_sched(
     let terrain = &scenario.terrain;
     let mut masking = Grid::new(terrain.x_size(), terrain.y_size(), f64::INFINITY);
 
-    for threat in &scenario.threats {
-        let region = Region::of_checked(threat, terrain.x_size(), terrain.y_size());
-        let h_s = sensor_height(terrain, threat);
-        let cells: Vec<(usize, usize)> = region.cells().collect();
+    // The one temp array plus the ring result slots live in this thread's
+    // arena, reused across threats; ring cell lists are never
+    // materialized — each ring is indexed through its edge runs.
+    KernelArena::with(|arena| {
+        for threat in &scenario.threats {
+            let region = Region::of_checked(threat, terrain.x_size(), terrain.y_size());
+            let h_s = sensor_height(terrain, threat);
 
-        // temp[x][y] = masking[x][y] over the region (parallel copy).
-        let mut temp = ScratchAlt::new(&region, f64::INFINITY);
-        for &(x, y) in &cells {
-            temp.set(x, y, AltStore::get(&masking, x, y));
-        }
+            // temp[x][y] = masking[x][y] over the region (parallel copy).
+            let temp = &mut arena.scratch;
+            temp.reset(&region, f64::INFINITY);
+            for (x, y) in region.cells() {
+                temp.set(x, y, AltStore::get(&masking, x, y));
+            }
 
-        // Reset the region of masking (parallel in spirit; the write is
-        // cheap enough that the host variant keeps it serial per cell and
-        // the machine models charge it as a parallel phase).
-        for &(x, y) in &cells {
-            AltStore::set(&mut masking, x, y, f64::INFINITY);
-        }
+            // Reset the region of masking (parallel in spirit; the write
+            // is cheap enough that the host variant keeps it serial per
+            // cell and the machine models charge it as a parallel phase).
+            for (x, y) in region.cells() {
+                AltStore::set(&mut masking, x, y, f64::INFINITY);
+            }
 
-        // Ring recurrence: each ring is a parallel loop over its cells,
-        // reading only the previous ring; a barrier separates rings.
-        for (x, y) in region.ring(0).into_iter().chain(region.ring(1)) {
-            AltStore::set(&mut masking, x, y, f64::NEG_INFINITY);
-        }
-        for k in 2..=region.radius {
-            let ring = region.ring(k);
-            let results: Vec<AtomicU64> = (0..ring.len()).map(|_| AtomicU64::new(0)).collect();
+            // Ring recurrence: each ring is a parallel loop over its
+            // cells, reading only the previous ring; a barrier separates
+            // rings.
+            for (x, y) in region
+                .ring_runs(0)
+                .cells()
+                .chain(region.ring_runs(1).cells())
             {
-                let masking_ref = &masking;
-                let ring_ref = &ring;
-                let results_ref = &results;
-                // Rings are the sub-microsecond case (a few hundred cells,
-                // ~100ns each): the default stealing schedule keeps each
-                // worker on a contiguous arc without a shared claim counter.
-                multithreaded_for(0..ring.len(), n_threads, schedule, |i| {
-                    let (x, y) = ring_ref[i];
-                    let v = raw_alt_for_cell(
-                        terrain,
-                        scenario.cell_size_m,
-                        h_s,
-                        region.cx,
-                        region.cy,
+                AltStore::set(&mut masking, x, y, f64::NEG_INFINITY);
+            }
+            for k in 2..=region.radius {
+                let runs = region.ring_runs(k);
+                let n = runs.len();
+                if arena.ring_slots.len() < n {
+                    arena.ring_slots.resize_with(n, || AtomicU64::new(0));
+                }
+                let results = &arena.ring_slots[..n];
+                {
+                    let masking_ref = &masking;
+                    // Rings are the sub-microsecond case (a few hundred
+                    // cells, ~100ns each): the default stealing schedule
+                    // keeps each worker on a contiguous arc without a
+                    // shared claim counter.
+                    multithreaded_for(0..n, n_threads, schedule, |i| {
+                        let (x, y) = runs.cell(i);
+                        let v = raw_alt_for_cell(
+                            terrain,
+                            scenario.cell_size_m,
+                            h_s,
+                            region.cx,
+                            region.cy,
+                            x,
+                            y,
+                            masking_ref,
+                            &mut NoRec,
+                        );
+                        results[i].store(v.to_bits(), Ordering::Relaxed);
+                    });
+                }
+                for (i, slot) in results.iter().enumerate() {
+                    let (x, y) = runs.cell(i);
+                    AltStore::set(
+                        &mut masking,
                         x,
                         y,
-                        masking_ref,
-                        &mut NoRec,
+                        f64::from_bits(slot.load(Ordering::Relaxed)),
                     );
-                    results_ref[i].store(v.to_bits(), Ordering::Relaxed);
-                });
+                }
             }
-            for (i, &(x, y)) in ring.iter().enumerate() {
-                AltStore::set(
-                    &mut masking,
-                    x,
-                    y,
-                    f64::from_bits(results[i].load(Ordering::Relaxed)),
-                );
-            }
-        }
 
-        // masking = Min(clamped per-threat altitude, temp) (parallel merge
-        // in spirit; serial on the host for the same reason as the reset).
-        for &(x, y) in &cells {
-            let per_threat = clamp_alt(AltStore::get(&masking, x, y), terrain[(x, y)]);
-            let prior = temp.get(x, y);
-            AltStore::set(&mut masking, x, y, per_threat.min(prior));
+            // masking = Min(clamped per-threat altitude, temp) (parallel
+            // merge in spirit; serial on the host for the same reason as
+            // the reset).
+            for (x, y) in region.cells() {
+                let per_threat = clamp_alt(AltStore::get(&masking, x, y), terrain[(x, y)]);
+                let prior = arena.scratch.get(x, y);
+                AltStore::set(&mut masking, x, y, per_threat.min(prior));
+            }
         }
-    }
+    });
     masking
 }
 

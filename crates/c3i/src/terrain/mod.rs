@@ -49,12 +49,17 @@ pub use coarse::{
 };
 pub use exact::{compare_with_recurrence, exact_blocking_slope, exact_per_threat_masking};
 pub use fine::{terrain_masking_fine, terrain_masking_fine_host, terrain_masking_fine_host_sched};
-pub use los::{per_threat_masking, OffGridThreat, Region};
+pub use los::{
+    per_threat_masking, KernelArena, KernelScratch, OffGridThreat, Region, RingRun, RingRuns,
+};
 pub use render::{render_grid, render_masking, render_terrain};
 pub use route::{altitude_sweep, exposed_fraction, is_exposed, plan_route, Route};
 pub use scenario::{
     benchmark_suite, generate, small_scenario, GroundThreat, TerrainScenario, TerrainScenarioError,
     TerrainScenarioParams,
 };
-pub use sequential::{terrain_masking, terrain_masking_host, terrain_masking_profile};
+pub use sequential::{
+    terrain_masking, terrain_masking_host, terrain_masking_into, terrain_masking_profile,
+    terrain_masking_reference,
+};
 pub use verify::{verify_masking, TerrainVerifyError};

@@ -11,7 +11,9 @@
 //! stream over large arrays doing almost no arithmetic, which is why the
 //! paper finds this program memory-bound.
 
-use super::los::{clamp_alt, compute_raw_alts, AltStore, Region, ScratchAlt};
+use super::los::{
+    clamp_alt, compute_raw_alts_in, reference, AltStore, KernelArena, Region, ScratchAlt,
+};
 use super::scenario::TerrainScenario;
 use crate::counts::{NoRec, Profile, Rec};
 use crate::grid::Grid;
@@ -21,49 +23,101 @@ use sthreads::OpRecorder;
 /// `masking[x][y]` is the maximum altitude at which an aircraft at that
 /// cell is invisible to every threat (`+∞` where no threat has influence).
 pub fn terrain_masking<R: Rec>(scenario: &TerrainScenario, r: &mut R) -> Grid<f64> {
+    let mut masking = Grid::new(0, 0, f64::INFINITY);
+    terrain_masking_into(scenario, &mut masking, r);
+    masking
+}
+
+/// Program 3 into a caller-owned output grid, with all working storage
+/// (the per-threat `temp` scratch and the ring kernel tables) drawn from
+/// this thread's [`KernelArena`]. After one warm-up call, repeated table
+/// pipelines through this entry perform zero hot-path allocations — the
+/// property the counting-allocator test pins.
+pub fn terrain_masking_into<R: Rec>(
+    scenario: &TerrainScenario,
+    masking: &mut Grid<f64>,
+    r: &mut R,
+) {
     let terrain = &scenario.terrain;
-    let mut masking = Grid::new(terrain.x_size(), terrain.y_size(), f64::INFINITY);
+    masking.reset(terrain.x_size(), terrain.y_size(), f64::INFINITY);
     r.sstore(masking.len() as u64); // masking[x][y] = INFINITY
 
+    KernelArena::with(|arena| {
+        for threat in &scenario.threats {
+            let region = Region::of_checked(threat, terrain.x_size(), terrain.y_size());
+            r.load(4); // threat record
+            r.int(8); // region bounds
+            let (temp, kern) = arena.split();
+
+            // temp[x][y] = masking[x][y] over the region of influence.
+            temp.reset(&region, f64::INFINITY);
+            for (x, y) in region.cells() {
+                temp.set(x, y, AltStore::get(masking, x, y));
+                r.sload(1);
+                r.sstore(1);
+            }
+
+            // masking[x][y] = INFINITY over the region (reset for the
+            // in-place recurrence; raw values overwrite these).
+            for (x, y) in region.cells() {
+                AltStore::set(masking, x, y, f64::INFINITY);
+                r.sstore(1);
+            }
+
+            // masking[x][y] = maximum safe altitude due to this threat.
+            compute_raw_alts_in(
+                terrain,
+                scenario.cell_size_m,
+                threat,
+                &region,
+                masking,
+                kern,
+                r,
+            );
+
+            // masking[x][y] = Min(masking[x][y], temp[x][y]), clamping the
+            // raw recurrence value to the terrain floor as it is folded in.
+            for (x, y) in region.cells() {
+                let per_threat = clamp_alt(AltStore::get(masking, x, y), terrain[(x, y)]);
+                let prior = temp.get(x, y);
+                AltStore::set(masking, x, y, per_threat.min(prior));
+                r.sload(3); // masking, temp, terrain
+                r.fp(2); // clamp + min
+                r.sstore(1);
+            }
+        }
+    });
+}
+
+/// The pinned scalar baseline of Program 3: fresh per-threat allocations
+/// and the historical cell-at-a-time recurrence ([`mod@reference`]). This is
+/// the comparison side of the `kernels` harness phase, the bench baseline,
+/// and the fuzzer's kernel-differential config; it must keep the exact
+/// pre-optimization behavior.
+pub fn terrain_masking_reference(scenario: &TerrainScenario) -> Grid<f64> {
+    let terrain = &scenario.terrain;
+    let mut masking = Grid::new(terrain.x_size(), terrain.y_size(), f64::INFINITY);
     for threat in &scenario.threats {
         let region = Region::of_checked(threat, terrain.x_size(), terrain.y_size());
-        r.load(4); // threat record
-        r.int(8); // region bounds
-
-        // temp[x][y] = masking[x][y] over the region of influence.
         let mut temp = ScratchAlt::new(&region, f64::INFINITY);
         for (x, y) in region.cells() {
             temp.set(x, y, AltStore::get(&masking, x, y));
-            r.sload(1);
-            r.sstore(1);
         }
-
-        // masking[x][y] = INFINITY over the region (reset for the in-place
-        // recurrence; raw values overwrite these).
         for (x, y) in region.cells() {
             AltStore::set(&mut masking, x, y, f64::INFINITY);
-            r.sstore(1);
         }
-
-        // masking[x][y] = maximum safe altitude due to this threat.
-        compute_raw_alts(
+        reference::compute_raw_alts(
             terrain,
             scenario.cell_size_m,
             threat,
             &region,
             &mut masking,
-            r,
+            &mut NoRec,
         );
-
-        // masking[x][y] = Min(masking[x][y], temp[x][y]), clamping the raw
-        // recurrence value to the terrain floor as it is folded in.
         for (x, y) in region.cells() {
             let per_threat = clamp_alt(AltStore::get(&masking, x, y), terrain[(x, y)]);
             let prior = temp.get(x, y);
             AltStore::set(&mut masking, x, y, per_threat.min(prior));
-            r.sload(3); // masking, temp, terrain
-            r.fp(2); // clamp + min
-            r.sstore(1);
         }
     }
     masking
@@ -203,6 +257,34 @@ mod tests {
         s.threats.reverse();
         let b = terrain_masking_host(&s);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reference_baseline_is_bit_identical_to_optimized() {
+        for seed in 1..=6 {
+            let s = small_scenario(seed);
+            let opt = terrain_masking_host(&s);
+            let refr = terrain_masking_reference(&s);
+            for (x, y, &v) in opt.iter_cells() {
+                assert_eq!(
+                    v.to_bits(),
+                    refr[(x, y)].to_bits(),
+                    "seed {seed} cell ({x},{y}): {v} vs {}",
+                    refr[(x, y)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn into_entry_reuses_the_output_grid() {
+        let s = small_scenario(2);
+        let fresh = terrain_masking_host(&s);
+        // A dirty, differently-shaped output grid must be fully reshaped
+        // and overwritten.
+        let mut out = Grid::new(3, 7, -1.0);
+        terrain_masking_into(&s, &mut out, &mut NoRec);
+        assert_eq!(out, fresh);
     }
 
     #[test]

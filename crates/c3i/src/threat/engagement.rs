@@ -92,13 +92,28 @@ impl Plan {
 /// engaged and its weapon is free for the whole window. Runs in
 /// `O(n log n)` over the interval count.
 pub fn schedule_greedy(intervals: &[Interval]) -> Plan {
-    let mut by_deadline: Vec<&Interval> = intervals.iter().collect();
-    by_deadline.sort_unstable_by_key(|iv| (iv.t_end, iv.t_start, iv.threat, iv.weapon));
+    // Structure-of-arrays permutation sort: pack each interval's sort key
+    // into two dense u64 parallel arrays and sort a u32 index permutation
+    // over them, rather than shuffling wide `&Interval` references. The
+    // packed lexicographic order ((t_end,t_start), (threat,weapon)) is
+    // exactly the historical tuple order, so the resulting plan is
+    // unchanged — and fully determined even for duplicate keys, since
+    // equal keys imply identical intervals.
+    let deadline_key: Vec<u64> = intervals
+        .iter()
+        .map(|iv| ((iv.t_end as u64) << 32) | iv.t_start as u64)
+        .collect();
+    let pair_key: Vec<u64> = intervals
+        .iter()
+        .map(|iv| ((iv.threat as u64) << 32) | iv.weapon as u64)
+        .collect();
+    let mut order: Vec<u32> = (0..intervals.len() as u32).collect();
+    order.sort_unstable_by_key(|&i| (deadline_key[i as usize], pair_key[i as usize]));
 
     let mut engaged = std::collections::BTreeSet::new();
     let mut weapon_busy: BTreeMap<u32, Vec<(u32, u32)>> = BTreeMap::new();
     let mut plan = Plan::default();
-    for iv in by_deadline {
+    for iv in order.into_iter().map(|i| &intervals[i as usize]) {
         if engaged.contains(&iv.threat) {
             continue;
         }
@@ -253,6 +268,22 @@ mod tests {
             schedule_greedy(&intervals).threats_engaged(),
             schedule_exhaustive(&intervals).threats_engaged()
         );
+    }
+
+    #[test]
+    fn greedy_plan_is_input_order_invariant() {
+        // The permutation sort orders by the full packed key, so the plan
+        // cannot depend on the order intervals arrive in.
+        let scenario = threat::generate(ThreatScenarioParams {
+            n_threats: 40,
+            n_weapons: 5,
+            seed: 21,
+            ..Default::default()
+        });
+        let mut intervals = threat::threat_analysis_host(&scenario);
+        let forward = schedule_greedy(&intervals);
+        intervals.reverse();
+        assert_eq!(schedule_greedy(&intervals), forward);
     }
 
     #[test]

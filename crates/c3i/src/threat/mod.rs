@@ -48,7 +48,10 @@ pub use chunked::{
 };
 pub use engagement::{coverage, schedule_exhaustive, schedule_greedy, Engagement, Plan};
 pub use fine::{threat_analysis_fine, threat_analysis_fine_host, threat_analysis_fine_host_sched};
-pub use model::{can_intercept, Interval, Threat, Weapon, TIME_STEP};
+pub use model::{
+    can_intercept, intervals_for_pair, intervals_for_pair_stepwise, Interval, Threat, Weapon,
+    TIME_STEP,
+};
 pub use scenario::{
     benchmark_suite, generate, small_scenario, ThreatScenario, ThreatScenarioError,
     ThreatScenarioParams,

@@ -164,11 +164,32 @@ pub fn can_intercept<R: Rec>(weapon: &Weapon, threat: &Threat, step: u32, r: &mu
 }
 
 /// Scan the time-stepped simulation for one (threat, weapon) pair and emit
-/// every maximal interception interval, in increasing time order. This is
-/// the `while` loop body of Programs 1 and 2: find the first feasible step
-/// `t1 ≥ t0`, extend it to the last consecutive feasible step `t2`, emit
-/// `[t1, t2]`, continue from `t2 + 1`.
+/// every maximal interception interval, in increasing time order.
+///
+/// Counting recorders (`R::COUNTING`) take the historical stepwise scan so
+/// recorded operation totals stay pinned; the no-op recorder takes the
+/// structure-of-arrays batch scan, which emits bit-identical intervals.
 pub fn intervals_for_pair<R: Rec>(
+    threat_idx: u32,
+    weapon_idx: u32,
+    threat: &Threat,
+    weapon: &Weapon,
+    r: &mut R,
+    emit: impl FnMut(Interval),
+) {
+    if R::COUNTING {
+        intervals_for_pair_stepwise(threat_idx, weapon_idx, threat, weapon, r, emit);
+    } else {
+        intervals_for_pair_batch(threat_idx, weapon_idx, threat, weapon, emit);
+    }
+}
+
+/// The pinned stepwise scan — the `while` loop body of Programs 1 and 2:
+/// find the first feasible step `t1 ≥ t0`, extend it to the last
+/// consecutive feasible step `t2`, emit `[t1, t2]`, continue from `t2 + 1`.
+/// This is the baseline side of the `engagement_scan` kernel bench and the
+/// path every counting recorder observes.
+pub fn intervals_for_pair_stepwise<R: Rec>(
     threat_idx: u32,
     weapon_idx: u32,
     threat: &Threat,
@@ -210,6 +231,157 @@ pub fn intervals_for_pair<R: Rec>(
         r.sstore(4); // interval tuple written to the output array
         r.int(2); // counter increment + t0 update
         t0 = t2 + 1;
+    }
+}
+
+/// Number of time steps evaluated per structure-of-arrays block in the
+/// batch scan. Three parallel `f64`/`bool` arrays of this length live on
+/// the stack (~5 KiB), small enough to stay cache- and allocation-free.
+const SCAN_BLOCK: usize = 256;
+
+/// Batch form of the pair scan: evaluate the interception predicate over a
+/// structure-of-arrays timeline block — kinematics in one straight-line
+/// pass over parallel arrays, the envelope conjunction in a second — then
+/// extract maximal feasible runs, carrying an open interval across block
+/// boundaries. Every comparison keeps `can_intercept`'s polarity and
+/// operand expressions, so the emitted intervals are identical (a NaN
+/// flight fraction fails the fly-out comparison exactly as it does in the
+/// stepwise scan).
+/// Squared minimum ground distance from `weapon` to the threat's ground
+/// track (point-to-segment). A lower bound on every step's slant range,
+/// used to skip pairs that can never come within weapon range.
+fn min_ground_dist2(threat: &Threat, weapon: &Weapon) -> f64 {
+    let (ax, ay) = threat.launch;
+    let (bx, by) = threat.impact;
+    let (px, py) = weapon.pos;
+    let abx = bx - ax;
+    let aby = by - ay;
+    let len2 = abx * abx + aby * aby;
+    let t = if len2 > 0.0 {
+        (((px - ax) * abx + (py - ay) * aby) / len2).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let dx = ax + t * abx - px;
+    let dy = ay + t * aby - py;
+    dx * dx + dy * dy
+}
+
+fn intervals_for_pair_batch(
+    threat_idx: u32,
+    weapon_idx: u32,
+    threat: &Threat,
+    weapon: &Weapon,
+    mut emit: impl FnMut(Interval),
+) {
+    let first = threat.first_step();
+    let last = threat.last_step();
+    if first > last {
+        return;
+    }
+
+    // Pair-invariant quantities, hoisted out of the timeline: the same
+    // expressions `can_intercept` rebuilds per step.
+    let launch = threat.launch_time;
+    let impact = threat.impact_time();
+    let earliest = threat.detect_time() + weapon.reaction_time;
+    let mr2 = weapon.max_range * weapon.max_range;
+
+    // Pair-level range prune: every step's slant² is at least the squared
+    // ground distance to the track, which is at least `min_ground_dist2`
+    // up to rounding. The 1% margin dwarfs any accumulated float error
+    // (relative ~1e-15), so a pair is only skipped when every step's
+    // `in_range` conjunct is certainly false; NaN geometry fails the `>`
+    // and falls through to the full scan.
+    if min_ground_dist2(threat, weapon) > mr2 * 1.01 {
+        return;
+    }
+
+    let mut zs = [0.0_f64; SCAN_BLOCK];
+    let mut slant2 = [0.0_f64; SCAN_BLOCK];
+    let mut feasible = [false; SCAN_BLOCK];
+
+    let mut open: Option<u32> = None;
+    // Steps with `t < earliest` fail the timing conjunct; they form a
+    // prefix of the scan window (t is increasing), so skipping them moves
+    // no interval boundary.
+    let mut base = first;
+    while base <= last && (base as f64) * TIME_STEP < earliest {
+        base += 1;
+    }
+    if base > last {
+        return;
+    }
+    loop {
+        let n = ((last - base) as usize + 1).min(SCAN_BLOCK);
+
+        // Pass 1: trajectory kinematics and slant geometry for the block.
+        for i in 0..n {
+            let t = (base + i as u32) as f64 * TIME_STEP;
+            let tau = (t - launch) / threat.flight_time;
+            let x = threat.launch.0 + (threat.impact.0 - threat.launch.0) * tau;
+            let y = threat.launch.1 + (threat.impact.1 - threat.launch.1) * tau;
+            let z = 4.0 * threat.apex_height * tau * (1.0 - tau);
+            let dx = x - weapon.pos.0;
+            let dy = y - weapon.pos.1;
+            zs[i] = z;
+            slant2[i] = dx * dx + dy * dy + z * z;
+        }
+
+        // Pass 2: the cheap envelope conjuncts over the parallel arrays.
+        for i in 0..n {
+            let t = (base + i as u32) as f64 * TIME_STEP;
+            let timed = !(t < earliest || t > impact);
+            let in_flight = !(t < launch || t > impact);
+            let envelope = !(zs[i] < weapon.min_alt || zs[i] > weapon.max_alt);
+            // Written as `!(x > mr2)`, not `x <= mr2`: a NaN slant (the
+            // degenerate flight_time case) must pass this conjunct with
+            // exactly the stepwise predicate's polarity.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            let in_range = !(slant2[i] > mr2);
+            feasible[i] = timed && in_flight && envelope && in_range;
+        }
+
+        // Pass 3: the fly-out test, only where the cheap conjuncts hold —
+        // the same steps the stepwise predicate pays the sqrt on. Where
+        // `feasible` is already false the conjunction's value is fixed, so
+        // skipping the comparison cannot change the result.
+        for i in 0..n {
+            if feasible[i] {
+                let t = (base + i as u32) as f64 * TIME_STEP;
+                feasible[i] = slant2[i].sqrt() / weapon.interceptor_speed <= t - earliest;
+            }
+        }
+
+        // Maximal-run extraction, carrying any open run into the next block.
+        for (i, &f) in feasible.iter().take(n).enumerate() {
+            let s = base + i as u32;
+            if f {
+                if open.is_none() {
+                    open = Some(s);
+                }
+            } else if let Some(t1) = open.take() {
+                emit(Interval {
+                    threat: threat_idx,
+                    weapon: weapon_idx,
+                    t_start: t1,
+                    t_end: s - 1,
+                });
+            }
+        }
+
+        match base.checked_add(n as u32) {
+            Some(next) if next <= last => base = next,
+            _ => break,
+        }
+    }
+    if let Some(t1) = open {
+        emit(Interval {
+            threat: threat_idx,
+            weapon: weapon_idx,
+            t_start: t1,
+            t_end: last,
+        });
     }
 }
 
@@ -374,6 +546,115 @@ mod tests {
         let mut got = Vec::new();
         intervals_for_pair(0, 0, &th, &w, &mut NoRec, |iv| got.push(iv));
         assert_eq!(got.len(), 2, "ascent and descent crossings: {got:?}");
+    }
+
+    fn stepwise_intervals(th: &Threat, w: &Weapon) -> Vec<Interval> {
+        let mut got = Vec::new();
+        intervals_for_pair_stepwise(7, 9, th, w, &mut NoRec, |iv| got.push(iv));
+        got
+    }
+
+    fn batch_intervals(th: &Threat, w: &Weapon) -> Vec<Interval> {
+        let mut got = Vec::new();
+        // NoRec has COUNTING = false, so the public entry dispatches to the
+        // structure-of-arrays batch scan.
+        intervals_for_pair(7, 9, th, w, &mut NoRec, |iv| got.push(iv));
+        got
+    }
+
+    #[test]
+    fn batch_scan_matches_stepwise_on_edge_pairs() {
+        let base_t = test_threat();
+        let base_w = test_weapon();
+        let mut cases: Vec<(Threat, Weapon)> = vec![(base_t, base_w)];
+        // Narrow altitude band: two intervals (ascent + descent).
+        cases.push((
+            Threat {
+                launch: (0.0, 0.0),
+                impact: (100_000.0, 0.0),
+                launch_time: 0.0,
+                flight_time: 400.0,
+                apex_height: 50_000.0,
+                detect_delay: 0.0,
+            },
+            Weapon {
+                pos: (50_000.0, 0.0),
+                interceptor_speed: 10_000.0,
+                max_range: 100_000.0,
+                min_alt: 20_000.0,
+                max_alt: 40_000.0,
+                reaction_time: 0.0,
+            },
+        ));
+        // Out of range: no intervals.
+        let mut far = base_w;
+        far.pos = (1.0e7, 1.0e7);
+        cases.push((base_t, far));
+        // Detection after impact: first_step > last_step, empty window.
+        let mut late = base_t;
+        late.detect_delay = late.flight_time + 50.0;
+        cases.push((late, base_w));
+        // Degenerate zero-length flight: tau is 0/0 = NaN; both scans must
+        // agree (no intercepts, no panic).
+        let mut point = base_t;
+        point.flight_time = 0.0;
+        cases.push((point, base_w));
+        // Feasible exactly at the last step: interval closed by the
+        // end-of-timeline flush rather than an infeasible successor.
+        let mut tail = base_w;
+        tail.min_alt = 0.0;
+        cases.push((base_t, tail));
+        for (i, (th, w)) in cases.iter().enumerate() {
+            assert_eq!(
+                batch_intervals(th, w),
+                stepwise_intervals(th, w),
+                "case {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_scan_carries_runs_across_block_boundaries() {
+        // A ~990-step feasible run spanning three SCAN_BLOCK boundaries.
+        let th = Threat {
+            launch: (0.0, 0.0),
+            impact: (100_000.0, 0.0),
+            launch_time: 0.0,
+            flight_time: 1000.0,
+            apex_height: 25_000.0,
+            detect_delay: 0.0,
+        };
+        let w = Weapon {
+            pos: (50_000.0, 0.0),
+            interceptor_speed: 10_000.0,
+            max_range: 200_000.0,
+            min_alt: 0.0,
+            max_alt: 30_000.0,
+            reaction_time: 0.0,
+        };
+        let step = stepwise_intervals(&th, &w);
+        let batch = batch_intervals(&th, &w);
+        assert_eq!(batch, step);
+        let longest = step
+            .iter()
+            .map(|iv| iv.t_end - iv.t_start + 1)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            longest as usize > super::SCAN_BLOCK,
+            "test must exercise the cross-block carry: longest run {longest}"
+        );
+    }
+
+    #[test]
+    fn counting_path_emits_the_same_intervals_as_the_batch_path() {
+        let th = test_threat();
+        let w = test_weapon();
+        let mut counted = Vec::new();
+        let mut r = sthreads::OpRecorder::new();
+        intervals_for_pair(7, 9, &th, &w, &mut r, |iv| counted.push(iv));
+        assert_eq!(counted, batch_intervals(&th, &w));
+        assert!(r.counts().fp_ops > 0, "counting path must record work");
     }
 
     #[test]

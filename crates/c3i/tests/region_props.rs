@@ -106,6 +106,40 @@ proptest! {
         }
     }
 
+    /// The run-based ring representation is exactly the historical ring:
+    /// at most four contiguous edge runs whose flattened cells are the
+    /// same set as `reference::ring`, in the canonical run order that
+    /// `Region::ring` now produces — under every clipping the placement
+    /// strategy can force, including radii past the grid.
+    #[test]
+    fn ring_runs_flatten_to_the_historical_ring((xs, ys, threat) in arb_clipped_region()) {
+        let region = Region::of(&threat, xs, ys).expect("threat is on the grid");
+        for k in 0..=region.radius {
+            let runs = region.ring_runs(k);
+            prop_assert!(runs.n_runs() <= 4, "ring {k} produced {} runs", runs.n_runs());
+            let flat: Vec<(usize, usize)> = runs.cells().collect();
+            prop_assert_eq!(&flat, &region.ring(k), "ring {} order diverged", k);
+            let as_set: HashSet<(usize, usize)> = flat.iter().copied().collect();
+            let historical: HashSet<(usize, usize)> =
+                c3i::terrain::los::reference::ring(&region, k).into_iter().collect();
+            prop_assert_eq!(as_set, historical, "ring {} cell set diverged", k);
+            prop_assert_eq!(runs.len(), flat.len());
+            // Random access agrees with iteration, and each run really is
+            // contiguous along its axis.
+            for (i, cell) in flat.iter().enumerate() {
+                prop_assert_eq!(runs.cell(i), *cell, "cell({}) diverged", i);
+            }
+            for run in runs.iter() {
+                let cells: Vec<_> = run.cells().collect();
+                for w in cells.windows(2) {
+                    let contiguous = (w[0].0 == w[1].0 && w[0].1 + 1 == w[1].1)
+                        || (w[0].1 == w[1].1 && w[0].0 + 1 == w[1].0);
+                    prop_assert!(contiguous, "run cells not contiguous: {:?}", w);
+                }
+            }
+        }
+    }
+
     /// A radius past both grid dimensions clips to the whole grid: the
     /// region degenerates to the full rectangle.
     #[test]

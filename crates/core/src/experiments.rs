@@ -930,6 +930,13 @@ pub const FINE_GRAIN_SPEEDUP_GATE: f64 = 0.95;
 /// Number of tasks in the `fine_grain` storm.
 pub const FINE_GRAIN_TASKS: usize = 10_000;
 
+/// Minimum acceptable speedup of the run-based arena kernels over the
+/// pinned scalar baseline on the terrain pipeline. The data-layout pass
+/// (edge-run ring iteration, row-sweep recurrence, hoisted distance
+/// tables, arena-backed scratch) must pay for its complexity; anything
+/// below this on the LOS recurrence means the kernels regressed.
+pub const KERNELS_SPEEDUP_GATE: f64 = 1.5;
+
 /// One ~1µs task of the fine-grain storm: a short LCG spin returning a
 /// checksum both dispatch arms must reproduce exactly.
 fn storm_task(i: usize) -> u64 {
@@ -1002,6 +1009,25 @@ pub struct PhaseTiming {
     pub breakdown: PhaseBreakdown,
 }
 
+/// The `kernels` phase: the full terrain pipeline (Program 3) run through
+/// the pinned scalar baseline (`terrain_masking_reference`: fresh
+/// per-threat allocations, cell-at-a-time recurrence) and through the
+/// run-based arena kernels, on one thread each. Unlike [`PhaseTiming`],
+/// both arms are sequential — the comparison is data layout, not
+/// scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KernelsPhase {
+    /// Wall-clock seconds of the pinned scalar baseline.
+    pub baseline_scalar_s: f64,
+    /// Wall-clock seconds of the optimized kernels.
+    pub optimized_s: f64,
+    /// `baseline_scalar_s / optimized_s`.
+    pub speedup: f64,
+    /// Whether the optimized masking grid was bit-identical to the
+    /// baseline's.
+    pub identical_output: bool,
+}
+
 /// The `BENCH_harness.json` document.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct HarnessReport {
@@ -1014,6 +1040,10 @@ pub struct HarnessReport {
     pub dispatch_floor_ns: u64,
     /// One entry per parallelized harness phase.
     pub phases: Vec<PhaseTiming>,
+    /// The kernel data-layout comparison (deliberately not optional: a
+    /// report without it predates the extended schema and must not pass
+    /// the gate).
+    pub kernels: KernelsPhase,
 }
 
 impl HarnessReport {
@@ -1078,6 +1108,30 @@ impl HarnessReport {
             Some(_) => {}
             None => errs.push("missing 'fine_grain' phase".to_string()),
         }
+        let k = &self.kernels;
+        if !k.identical_output {
+            errs.push(
+                "kernels: optimized masking grid differs bitwise from the scalar baseline"
+                    .to_string(),
+            );
+        }
+        for (name, v) in [
+            ("baseline_scalar_s", k.baseline_scalar_s),
+            ("optimized_s", k.optimized_s),
+            ("speedup", k.speedup),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                errs.push(format!("kernels: {name} = {v} is not positive"));
+            }
+        }
+        if k.speedup.is_finite() && k.speedup < KERNELS_SPEEDUP_GATE {
+            errs.push(format!(
+                "kernels speedup {:.2}x is below the {KERNELS_SPEEDUP_GATE} gate \
+                 (scalar baseline {:.6} s, optimized {:.6} s) — the run-based arena \
+                 kernels are not paying for themselves",
+                k.speedup, k.baseline_scalar_s, k.optimized_s
+            ));
+        }
         if errs.is_empty() {
             Ok(())
         } else {
@@ -1109,6 +1163,12 @@ impl HarnessReport {
                 p.breakdown.useful_work_s * 1e3,
             ));
         }
+        let k = &self.kernels;
+        out.push_str(&format!(
+            "  kernels (data layout): scalar baseline {:.3} s, optimized {:.3} s, \
+             {:.2}x, identical {}\n",
+            k.baseline_scalar_s, k.optimized_s, k.speedup, k.identical_output,
+        ));
         out
     }
 }
@@ -1148,6 +1208,51 @@ fn measure_phase<T>(
         speedup: t_seq / t_par,
         identical_output: same(&v_seq, &v_par),
         breakdown: PhaseBreakdown::from_delta(&delta),
+    }
+}
+
+/// Measure the `kernels` phase: the terrain pipeline through the pinned
+/// scalar baseline vs the run-based arena kernels, one thread each,
+/// best-of-3, with a bitwise output comparison. The scenario matches the
+/// workload scale's terrain configuration so the numbers describe the
+/// pipeline the tables actually time.
+pub fn measure_kernels(scale: crate::workload::WorkloadScale) -> KernelsPhase {
+    use c3i::terrain::{
+        generate, terrain_masking_into, terrain_masking_reference, TerrainScenarioParams,
+    };
+    let params = match scale {
+        crate::workload::WorkloadScale::Paper => TerrainScenarioParams {
+            seed: 1,
+            ..TerrainScenarioParams::default()
+        },
+        crate::workload::WorkloadScale::Reduced => TerrainScenarioParams {
+            grid_size: 512,
+            n_threats: 30,
+            seed: 1,
+            ..TerrainScenarioParams::default()
+        },
+    };
+    let scenario = generate(params);
+    let (t_base, baseline, _) = best_of(3, || terrain_masking_reference(&scenario));
+    let mut optimized = c3i::Grid::new(0, 0, f64::INFINITY);
+    // One warm-up sizes the thread's arena; the timed runs then measure
+    // the allocation-free steady state the pipeline actually runs in.
+    terrain_masking_into(&scenario, &mut optimized, &mut c3i::NoRec);
+    let (t_opt, _, _) = best_of(3, || {
+        terrain_masking_into(&scenario, &mut optimized, &mut c3i::NoRec)
+    });
+    let identical = baseline.x_size() == optimized.x_size()
+        && baseline.y_size() == optimized.y_size()
+        && baseline
+            .as_slice()
+            .iter()
+            .zip(optimized.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    KernelsPhase {
+        baseline_scalar_s: t_base,
+        optimized_s: t_opt,
+        speedup: t_base / t_opt,
+        identical_output: identical,
     }
 }
 
@@ -1220,11 +1325,13 @@ pub fn harness_timing(scale: crate::workload::WorkloadScale, n_threads: usize) -
     ));
 
     sthreads::stats::set_timing(was_timing);
+    let kernels = measure_kernels(scale);
     HarnessReport {
         scale: format!("{scale:?}"),
         host_threads: n_threads,
         dispatch_floor_ns: floor,
         phases,
+        kernels,
     }
 }
 
@@ -1529,6 +1636,12 @@ mod tests {
                 phase("utilization sweep", 1.0, 0.3),
                 phase("fine_grain", 0.012, 0.010),
             ],
+            kernels: KernelsPhase {
+                baseline_scalar_s: 0.9,
+                optimized_s: 0.4,
+                speedup: 0.9 / 0.4,
+                identical_output: true,
+            },
         }
     }
 
@@ -1624,12 +1737,80 @@ mod tests {
     }
 
     #[test]
+    fn kernels_slowdown_fails_the_gate() {
+        let mut r = good_report();
+        r.kernels.optimized_s = r.kernels.baseline_scalar_s / 1.2;
+        r.kernels.speedup = 1.2;
+        let errs = r.validate().unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("below the 1.5 gate")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn kernels_nonidentical_output_fails_validation() {
+        let mut r = good_report();
+        r.kernels.identical_output = false;
+        let errs = r.validate().unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("differs bitwise from the scalar baseline")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn harness_report_rejects_json_missing_kernels() {
+        // A pre-extension report without the kernels phase must not parse:
+        // the ≥1.5x data-layout gate cannot be skipped by feeding the ci
+        // gate a stale file.
+        let legacy = r#"{
+            "scale": "Reduced",
+            "host_threads": 4,
+            "dispatch_floor_ns": 4000,
+            "phases": [{
+                "phase": "table generation",
+                "seq_seconds": 0.001,
+                "par_seconds": 0.001,
+                "speedup": 1.0,
+                "identical_output": true,
+                "breakdown": {
+                    "dispatch_overhead_s": 0.0,
+                    "imbalance_s": 0.0,
+                    "useful_work_s": 0.001
+                }
+            }]
+        }"#;
+        assert!(serde_json::from_str::<HarnessReport>(legacy).is_err());
+    }
+
+    #[test]
+    fn measured_kernels_phase_clears_the_gate() {
+        // The real measurement on the reduced scenario: bit-identical
+        // output in every profile, and a speedup at or above the ci gate
+        // when optimizations are on. Debug builds pay bounds checks and
+        // no inlining, which flattens the data-layout win to ~1.1x, so
+        // the perf half of the assertion is release-only — `repro --gate`
+        // (always release in ci.sh) enforces it on every CI run anyway.
+        let k = measure_kernels(WorkloadScale::Reduced);
+        assert!(k.identical_output, "{k:?}");
+        assert!(k.speedup.is_finite() && k.speedup > 0.0, "{k:?}");
+        #[cfg(not(debug_assertions))]
+        assert!(
+            k.speedup >= KERNELS_SPEEDUP_GATE,
+            "kernels speedup below gate: {k:?}"
+        );
+    }
+
+    #[test]
     fn empty_report_fails_validation() {
         let r = HarnessReport {
             scale: "Reduced".to_string(),
             host_threads: 0,
             dispatch_floor_ns: 0,
             phases: Vec::new(),
+            kernels: good_report().kernels,
         };
         let errs = r.validate().unwrap_err();
         assert!(errs.iter().any(|e| e.contains("no phases")));
@@ -1642,9 +1823,11 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: HarnessReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
-        // The extended schema's key must actually be present in the JSON.
+        // The extended schema's keys must actually be present in the JSON.
         assert!(json.contains("\"breakdown\""));
         assert!(json.contains("\"dispatch_overhead_s\""));
+        assert!(json.contains("\"kernels\""));
+        assert!(json.contains("\"baseline_scalar_s\""));
     }
 
     #[test]

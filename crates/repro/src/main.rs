@@ -159,12 +159,15 @@ fn run_gate(path: &str) -> ! {
                 .expect("validate() guarantees the phase exists");
             println!(
                 "gate: {path} OK — {} phases identical, table generation {:.2}x (gate {}), \
-                 fine_grain stealing vs shared queue {:.2}x (gate {})",
+                 fine_grain stealing vs shared queue {:.2}x (gate {}), \
+                 kernels vs scalar baseline {:.2}x (gate {})",
                 report.phases.len(),
                 tg.speedup,
                 experiments::TABLE_GEN_SPEEDUP_GATE,
                 fg.speedup,
                 experiments::FINE_GRAIN_SPEEDUP_GATE,
+                report.kernels.speedup,
+                experiments::KERNELS_SPEEDUP_GATE,
             );
             std::process::exit(0);
         }
