@@ -80,4 +80,30 @@ echo "== harness regression gate (schema + identity + speedups) =="
 # so core count does not affect it.
 ./target/release/repro --gate BENCH_harness.json
 
+echo "== service smoke (serve + load replay + gate) =="
+# Starts the scenario-evaluation server on a unix socket, replays a
+# fixed-seed fuzzer-generated request mix through it over 4 concurrent
+# connections, and verifies every served response is bit-identical to a
+# direct sequential evaluation. The replay writes BENCH_service.json
+# (p50/p99 latency, throughput, identity flag) which the gate then
+# parses against the service schema.
+SERVICE_SOCK=target/c3i-serve.sock
+rm -f "$SERVICE_SOCK"
+./target/release/repro --serve "$SERVICE_SOCK" --reduced &
+SERVICE_PID=$!
+trap 'kill "$SERVICE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 150); do
+  [ -S "$SERVICE_SOCK" ] && break
+  sleep 0.2
+done
+if ! [ -S "$SERVICE_SOCK" ]; then
+  echo "service smoke: server never bound $SERVICE_SOCK" >&2
+  exit 1
+fi
+./target/release/repro --load "$SERVICE_SOCK" --reduced \
+  --requests 40 --mix-seed 1 --conns 4 --stop-server
+wait "$SERVICE_PID"
+trap - EXIT
+./target/release/repro --gate BENCH_service.json
+
 echo "CI OK"

@@ -20,17 +20,22 @@
 //!
 //! Entry points: [`run_campaign`] (the `repro --fuzz N` backend),
 //! [`run_case`] (one scenario through the whole matrix), and
-//! [`shrink_case`] (delta-debugging minimization).
+//! [`shrink_case`] (delta-debugging minimization). The [`mix`] module
+//! reuses the same seeded-generation idiom for *service traffic*:
+//! deterministic scenario-evaluation request mixes replayed by
+//! `repro --load` against a `repro --serve` server.
 
 #![warn(missing_docs)]
 
 pub mod campaign;
 pub mod gen;
+pub mod mix;
 pub mod runner;
 pub mod shrink;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, MinimizedFailure};
 pub use gen::{generate_case, FuzzCase, GenConfig};
+pub use mix::{generate_mix, generate_request};
 pub use runner::{run_case, CaseOutcome, Failure};
 pub use shrink::shrink_case;
 

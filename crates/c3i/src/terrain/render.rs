@@ -49,6 +49,12 @@ pub fn render_terrain(terrain: &Grid<f64>, max_w: usize, max_h: usize) -> String
 /// Render a masking field relative to the terrain: `.` = no threat
 /// influence (fly at any altitude), `#` = pinned to the ground, digits
 /// 1–9 = safe ceiling above local terrain in units of `level_m` meters.
+///
+/// The output never leaves that legend: cells with no altitude-band
+/// reading — NaN headroom (NaN masking or infinite terrain), a `-inf`
+/// masking value, or a non-positive/NaN `level_m` — render as the
+/// conservative ground-pin glyph `#`. (A NaN previously survived the
+/// clamp, cast to 0, and emitted an undocumented `'0'`.)
 pub fn render_masking(
     masking: &Grid<f64>,
     terrain: &Grid<f64>,
@@ -59,11 +65,13 @@ pub fn render_masking(
     assert_eq!(masking.x_size(), terrain.x_size());
     assert_eq!(masking.y_size(), terrain.y_size());
     render_grid(masking, max_w, max_h, |x, y, &m| {
-        if m.is_infinite() {
+        // Only +inf means "no threat influence"; -inf is a pinned cell,
+        // not an open sky.
+        if m == f64::INFINITY {
             '.'
         } else {
             let headroom = m - terrain[(x, y)];
-            if headroom < level_m / 4.0 {
+            if headroom.is_nan() || level_m.is_nan() || level_m <= 0.0 || headroom < level_m / 4.0 {
                 '#'
             } else {
                 let level = (headroom / level_m).clamp(1.0, 9.0) as u32;
@@ -119,6 +127,35 @@ mod tests {
         masking[(1, 0)] = 100.0 + 600.0; // 3 levels of 200 m
         let s = render_masking(&masking, &terrain, 200.0, 10, 5);
         assert_eq!(s.trim_end(), "#3.");
+    }
+
+    #[test]
+    fn masking_renderer_never_leaves_the_documented_legend() {
+        // The PR-8 satellite bug: NaN headroom survived the clamp, cast
+        // to 0, and rendered an undocumented '0' glyph; non-positive
+        // level_m could do the same. Every degenerate combination must
+        // stay inside the `.`/`#`/1-9 legend.
+        let legend = |s: &str| {
+            s.chars()
+                .all(|c| c == '.' || c == '#' || ('1'..='9').contains(&c) || c == '\n')
+        };
+        let terrain = Grid::from_fn(5, 1, |x, _| if x == 4 { f64::INFINITY } else { 100.0 });
+        let mut masking = Grid::new(5, 1, f64::INFINITY);
+        masking[(0, 0)] = f64::NAN; // NaN headroom
+        masking[(1, 0)] = f64::NEG_INFINITY; // pinned, not "no influence"
+        masking[(2, 0)] = 100.0 + 600.0; // ordinary banded cell
+        masking[(4, 0)] = 100.0; // finite masking - inf terrain = -inf headroom
+        let s = render_masking(&masking, &terrain, 200.0, 10, 5);
+        assert!(legend(&s), "{s:?}");
+        assert_eq!(s.trim_end(), "##3.#");
+
+        // Degenerate level_m: zero, negative, NaN — banded cells fall
+        // back to '#' rather than inventing glyphs.
+        for level in [0.0, -50.0, f64::NAN] {
+            let s = render_masking(&masking, &terrain, level, 10, 5);
+            assert!(legend(&s), "level {level}: {s:?}");
+            assert_eq!(s.trim_end(), "###.#", "level {level}");
+        }
     }
 
     #[test]

@@ -197,7 +197,11 @@ fn try_store(dir: &Path, snap: &Snapshot) {
     }
     let final_path = snapshot_path(dir, snap.workload.scale);
     let tmp_path = final_path.with_extension(format!("tmp.{}", std::process::id()));
-    if std::fs::write(&tmp_path, text).is_ok() && std::fs::rename(&tmp_path, &final_path).is_err() {
+    // The temp file must not outlive this call on *either* failure path:
+    // a failed write can still leave a partial file (or a dangling link
+    // target) behind, not just a failed rename.
+    if std::fs::write(&tmp_path, text).is_err() || std::fs::rename(&tmp_path, &final_path).is_err()
+    {
         let _ = std::fs::remove_file(&tmp_path);
     }
 }
@@ -302,6 +306,35 @@ mod tests {
         // Each miss rewrote the snapshot, so the cache self-heals.
         let (_, _, status) = load_or_measure_in(&dir, WorkloadScale::Reduced, true);
         assert_eq!(status, CacheStatus::Hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_tmp_write_leaves_no_tmp_file() {
+        // The PR-8 satellite bug: when `fs::write` itself failed,
+        // `try_store` only cleaned the temp path up after a *rename*
+        // failure, leaking `.tmp.<pid>` entries into the cache dir.
+        let dir = scratch_dir();
+        let (workload, cal, _) = load_or_measure_in(&dir, WorkloadScale::Reduced, true);
+        let final_path = snapshot_path(&dir, WorkloadScale::Reduced);
+        let tmp_path = final_path.with_extension(format!("tmp.{}", std::process::id()));
+        // Force the write itself to fail: point the deterministic temp
+        // path at a target inside a directory that does not exist, so
+        // `fs::write`'s open(2) follows the link and gets ENOENT while a
+        // directory entry for the temp path already exists.
+        std::os::unix::fs::symlink(dir.join("missing-subdir/target"), &tmp_path).unwrap();
+        try_store(
+            &dir,
+            &Snapshot {
+                fingerprint: code_fingerprint(),
+                workload,
+                cal,
+            },
+        );
+        assert!(
+            std::fs::symlink_metadata(&tmp_path).is_err(),
+            "the temp path must be cleaned up when the write itself fails"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -20,7 +20,10 @@
 //!    overhead anchors the paper itself could not decompose — every other
 //!    table entry is then a prediction;
 //! 4. [`experiments`] regenerates every table and figure of the paper,
-//!    rendered by [`tables`].
+//!    rendered by [`tables`];
+//! 5. [`service`] wraps the harness in a long-lived [`Evaluator`] behind
+//!    a bounded batching queue, and [`wire`] serves it over a socket
+//!    (`repro --serve`) with responses bit-identical to direct calls.
 //!
 //! See EXPERIMENTS.md at the repository root for paper-vs-model numbers
 //! for every row.
@@ -29,13 +32,19 @@ pub mod cache;
 pub mod calibrate;
 pub mod experiments;
 pub mod models;
+pub mod service;
 pub mod tables;
 pub mod validate;
+pub mod wire;
 pub mod workload;
 
 pub use cache::{load_or_measure, CacheStatus, Snapshot};
 pub use calibrate::{calibrate, Calibration, PaperAnchors};
 pub use experiments::{Experiments, Figure, HarnessReport, PhaseBreakdown, PhaseTiming};
 pub use models::{ConventionalModel, TeraModel};
+pub use service::{
+    EvalError, EvalRequest, Evaluator, Platform, Service, ServiceConfig, ServiceReport,
+};
 pub use tables::Table;
+pub use wire::{Client, Server};
 pub use workload::{Workload, WorkloadScale};

@@ -98,7 +98,7 @@ pub use par_for::{
 };
 pub use pool::{scope_threads, ThreadPool};
 pub use queue::WorkQueue;
-pub use stats::StatsSnapshot;
+pub use stats::{LatencySnapshot, StatsSnapshot};
 pub use syncvar::{SyncCounter, SyncVar};
 
 /// Compute the half-open index range owned by `chunk` when `n_items` items
