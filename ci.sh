@@ -60,6 +60,15 @@ echo "== differential fuzz smoke (fixed seed) =="
 # broaden locally with `repro --fuzz 200 --fuzz-seed $RANDOM`.
 ./target/release/repro --reduced --fuzz 25 --fuzz-seed 1
 
+echo "== simulator parallel-tick oracle (fixed-seed) =="
+# The mta-sim determinism gate: Machine::run_parallel must be
+# bit-identical to the sequential interpreter (RunResult, SimStats, fault
+# order, final memory words and full/empty bits) at 1/2/8 workers across
+# the kernel corpus, a deadlock/fault matrix, and a fixed-seed
+# random-program fuzz smoke. Also part of `cargo test`; kept explicit so
+# a parallel-tick divergence is named in CI output.
+cargo test -q -p mta-sim --test par_oracle
+
 echo "== pinned regression corpus replay =="
 # Every minimized failure ever pinned under tests/corpus/ replays through
 # the same differential matrix (also part of `cargo test`; kept explicit
@@ -71,8 +80,11 @@ echo "== harness regression gate (schema + identity + speedups) =="
 # phase must carry a breakdown, and the report must carry the kernels
 # phase), fails if any phase's parallel output diverged from sequential,
 # fails if the table-generation phase fell below the 0.95x speedup gate,
-# and fails if the run-based arena kernels fell below 1.5x over the
-# pinned scalar baseline on the terrain pipeline. The table-gen check is
+# fails if the mta_par phase is missing, non-identical, or shows the
+# windowed two-phase tick costing more than 5% over the sequential
+# interpreter, and fails if the run-based arena kernels fell below 1.5x
+# over the pinned scalar baseline on the terrain pipeline. The table-gen
+# check is
 # robust on throttled or single-core CI hosts *because* of par_map's
 # measured sequential cutoff: when parallelism cannot pay for its own
 # dispatch, the phase runs sequentially and the ratio sits at ~1.0

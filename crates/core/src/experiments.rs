@@ -930,6 +930,17 @@ pub const FINE_GRAIN_SPEEDUP_GATE: f64 = 0.95;
 /// Number of tasks in the `fine_grain` storm.
 pub const FINE_GRAIN_TASKS: usize = 10_000;
 
+/// Minimum acceptable ratio of sequential-interpreter time to
+/// parallel-tick time for the `mta_par` phase. The phase runs the same
+/// simulation through `Machine::run` and through the barriered two-phase
+/// `Machine::run_parallel` (at [`mta_par_workers`] host workers) and
+/// demands bit-identical output; the gate then asserts the deterministic
+/// windowed tick never costs more than a few percent over the sequential
+/// interpreter on this host. On a single-core host that is the whole
+/// claim; on multi-core hosts the recorded speedup additionally shows
+/// what the parallel tick buys.
+pub const MTA_PAR_SPEEDUP_GATE: f64 = 0.95;
+
 /// Minimum acceptable speedup of the run-based arena kernels over the
 /// pinned scalar baseline on the terrain pipeline. The data-layout pass
 /// (edge-run ring iteration, row-sweep recurrence, hoisted distance
@@ -956,6 +967,78 @@ fn storm_task(i: usize) -> u64 {
 /// stealing scheduler must beat (or at least match) the shared queue.
 pub fn fine_grain_storm(n_threads: usize, schedule: Schedule) -> Vec<u64> {
     par_map(FINE_GRAIN_TASKS, n_threads, schedule, storm_task)
+}
+
+/// The `mta_par` simulation programs: the mixed ALU/memory kernel from
+/// the utilization experiments plus the chunked-scan kernel (the paper's
+/// §6 chunked self-scheduling shape), both sized for the paper's
+/// two-processor SDSC machine. Two kernels with different
+/// memory-to-ALU ratios keep the phase's ratio a property of the tick
+/// rather than of one instruction mix. `Reduced` shrinks the stream and
+/// iteration counts so the measurement pair stays within CI budget — but
+/// not below the point where per-window overhead stops being amortized
+/// and the ratio measures fixed costs instead of the tick itself.
+fn mta_par_programs(scale: crate::workload::WorkloadScale) -> Vec<mta_sim::Program> {
+    match scale {
+        crate::workload::WorkloadScale::Paper => vec![
+            mta_sim::kernels::mixed_kernel(256, 2000, 4, 100_000),
+            mta_sim::kernels::chunked_scan_kernel(800, 300, 256).0,
+        ],
+        crate::workload::WorkloadScale::Reduced => vec![
+            mta_sim::kernels::mixed_kernel(128, 1000, 4, 100_000),
+            mta_sim::kernels::chunked_scan_kernel(400, 200, 256).0,
+        ],
+    }
+}
+
+/// Worker count for the `mta_par` parallel arm: the host's available
+/// parallelism, capped at the harness thread count. A single worker still
+/// drives the full windowed two-phase tick — `Machine::run_parallel` only
+/// falls back to the sequential interpreter for single-processor machines
+/// — so the phase's identity check is meaningful even on a one-core host,
+/// where the gate reduces to "deterministic windowing costs under 5%".
+pub fn mta_par_workers(n_threads: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .clamp(1, n_threads.max(1))
+}
+
+/// Run the `mta_par` workload through one of its two arms — `workers == 0`
+/// is the sequential interpreter, otherwise the barriered two-phase tick
+/// with that many host workers — on the two-processor Tera configuration.
+/// Returns, per kernel, the full [`mta_sim::RunResult`] plus an FNV-1a
+/// digest of the final memory image (every word and its full/empty bit),
+/// so the phase's `identical_output` check covers simulated data, not
+/// just statistics.
+pub fn mta_par_outcome(
+    scale: crate::workload::WorkloadScale,
+    workers: usize,
+) -> Vec<(mta_sim::RunResult, u64)> {
+    mta_par_programs(scale)
+        .into_iter()
+        .map(|program| {
+            let cfg = mta_sim::MtaConfig {
+                mem_words: 1 << 17,
+                ..mta_sim::MtaConfig::tera(2)
+            };
+            let mut m = mta_sim::Machine::new(cfg, program).expect("mta_par kernel must validate");
+            m.spawn(0, 0).expect("spawn main stream");
+            let r = if workers == 0 {
+                m.run(2_000_000_000)
+            } else {
+                m.run_parallel(2_000_000_000, workers)
+            };
+            let mut h: u64 = 0xcbf29ce484222325;
+            for addr in 0..m.memory().len() {
+                for v in [m.memory().load(addr), m.memory().is_full(addr) as u64] {
+                    h ^= v;
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+            }
+            (r, h)
+        })
+        .collect()
 }
 
 /// Where a phase's parallel wall-clock went, from `sthreads::stats`
@@ -1000,7 +1083,11 @@ pub struct PhaseTiming {
     pub seq_seconds: f64,
     /// Wall-clock seconds on `host_threads` threads.
     pub par_seconds: f64,
-    /// `seq_seconds / par_seconds`.
+    /// Robust speedup estimate: the median of per-repeat paired
+    /// `seq/par` ratios (each repeat times the two arms back-to-back).
+    /// For single-repeat phases this equals
+    /// `seq_seconds / par_seconds`; with repeats the paired median
+    /// resists host-load spikes that the ratio of minima would not.
     pub speedup: f64,
     /// Whether the parallel run's output was bit-identical to the
     /// sequential run's.
@@ -1108,6 +1195,16 @@ impl HarnessReport {
             Some(_) => {}
             None => errs.push("missing 'fine_grain' phase".to_string()),
         }
+        match self.phases.iter().find(|p| p.phase == "mta_par") {
+            Some(mp) if mp.speedup < MTA_PAR_SPEEDUP_GATE => errs.push(format!(
+                "mta_par speedup {:.2}x is below the {MTA_PAR_SPEEDUP_GATE} gate \
+                 (sequential interpreter {:.6} s, parallel tick {:.6} s) — the \
+                 windowed two-phase tick is costing more than it saves",
+                mp.speedup, mp.seq_seconds, mp.par_seconds
+            )),
+            Some(_) => {}
+            None => errs.push("missing 'mta_par' phase".to_string()),
+        }
         let k = &self.kernels;
         if !k.identical_output {
             errs.push(
@@ -1195,17 +1292,50 @@ fn best_of<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T, sthreads::St
 fn measure_phase<T>(
     name: &str,
     repeats: usize,
-    seq: impl FnMut() -> T,
-    par: impl FnMut() -> T,
+    mut seq: impl FnMut() -> T,
+    mut par: impl FnMut() -> T,
     same: impl Fn(&T, &T) -> bool,
 ) -> PhaseTiming {
-    let (t_seq, v_seq, _) = best_of(repeats, seq);
-    let (t_par, v_par, delta) = best_of(repeats, par);
+    assert!(repeats > 0);
+    // The arms alternate rather than running as back-to-back blocks, and
+    // the gated `speedup` is the *median of per-repeat paired ratios*
+    // rather than the ratio of the per-arm minima. Pairing means a
+    // sustained host-load spike inflates both halves of the repeat it
+    // lands on (the ratio survives); the median then discards the
+    // repeats a short spike hit asymmetrically. On a noisy shared CI
+    // host this is the difference between a gate that measures the code
+    // and one that measures the neighbours. `seq_seconds`/`par_seconds`
+    // still report the per-arm minima (noise only ever inflates a run,
+    // so the minimum estimates the true cost).
+    let mut best_seq: Option<(f64, T)> = None;
+    let mut best_par: Option<(f64, T, sthreads::StatsSnapshot)> = None;
+    let mut ratios = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let start = std::time::Instant::now();
+        let v = seq();
+        let secs_seq = start.elapsed().as_secs_f64();
+        if best_seq.as_ref().is_none_or(|(b, _)| secs_seq < *b) {
+            best_seq = Some((secs_seq, v));
+        }
+        let before = sthreads::stats::snapshot();
+        let start = std::time::Instant::now();
+        let v = par();
+        let secs_par = start.elapsed().as_secs_f64();
+        let delta = sthreads::stats::snapshot() - before;
+        if best_par.as_ref().is_none_or(|(b, _, _)| secs_par < *b) {
+            best_par = Some((secs_par, v, delta));
+        }
+        ratios.push(secs_seq / secs_par);
+    }
+    ratios.sort_unstable_by(f64::total_cmp);
+    let speedup = ratios[ratios.len() / 2];
+    let (t_seq, v_seq) = best_seq.unwrap();
+    let (t_par, v_par, delta) = best_par.unwrap();
     PhaseTiming {
         phase: name.to_string(),
         seq_seconds: t_seq,
         par_seconds: t_par,
-        speedup: t_seq / t_par,
+        speedup,
         identical_output: same(&v_seq, &v_par),
         breakdown: PhaseBreakdown::from_delta(&delta),
     }
@@ -1321,6 +1451,24 @@ pub fn harness_timing(scale: crate::workload::WorkloadScale, n_threads: usize) -
         5,
         || fine_grain_storm(n_threads, Schedule::Dynamic),
         || fine_grain_storm(n_threads, Schedule::Stealing),
+        |a, b| a == b,
+    ));
+
+    // The simulator determinism gate: the same two-processor simulation
+    // through the sequential interpreter and through the barriered
+    // two-phase parallel tick, compared bit-for-bit (RunResult + final
+    // memory digest). Both arms are ~40 ms of pure simulation on a
+    // shared CI host whose load swings several percent between repeats,
+    // so this phase takes more repeats than the others: the gated value
+    // is the median of the per-repeat paired ratios, and eleven repeats
+    // keep that median within ~1-2% of the true ratio even when a few
+    // repeats land on a load spike.
+    let par_workers = mta_par_workers(n_threads);
+    phases.push(measure_phase(
+        "mta_par",
+        11,
+        || mta_par_outcome(scale, 0),
+        || mta_par_outcome(scale, par_workers),
         |a, b| a == b,
     ));
 
@@ -1635,6 +1783,7 @@ mod tests {
                 phase("table generation", 0.001, 0.001),
                 phase("utilization sweep", 1.0, 0.3),
                 phase("fine_grain", 0.012, 0.010),
+                phase("mta_par", 0.030, 0.029),
             ],
             kernels: KernelsPhase {
                 baseline_scalar_s: 0.9,
@@ -1719,6 +1868,71 @@ mod tests {
             errs.iter().any(|e| e.contains("missing 'fine_grain'")),
             "{errs:?}"
         );
+    }
+
+    #[test]
+    fn mta_par_slowdown_fails_the_gate() {
+        // The parallel tick costing materially more than the sequential
+        // interpreter is exactly the regression this phase exists to catch.
+        let mut r = good_report();
+        let mp = r.phases.iter_mut().find(|p| p.phase == "mta_par").unwrap();
+        mp.par_seconds = mp.seq_seconds / 0.8;
+        mp.speedup = 0.8;
+        let errs = r.validate().unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("windowed two-phase tick is costing more")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn missing_mta_par_phase_is_an_error() {
+        let mut r = good_report();
+        r.phases.retain(|p| p.phase != "mta_par");
+        let errs = r.validate().unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("missing 'mta_par'")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn mta_par_nonidentical_output_fails_validation() {
+        let mut r = good_report();
+        let mp = r.phases.iter_mut().find(|p| p.phase == "mta_par").unwrap();
+        mp.identical_output = false;
+        let errs = r.validate().unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("'mta_par': parallel output differs")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn mta_par_outcome_is_identical_across_worker_counts() {
+        // The in-crate rendition of the par_oracle determinism gate, on
+        // the exact workload the mta_par harness phase measures.
+        let expected = mta_par_outcome(WorkloadScale::Reduced, 0);
+        assert!(expected.iter().all(|(r, _)| r.completed), "{expected:?}");
+        for workers in [1, 2, mta_par_workers(4)] {
+            assert_eq!(
+                mta_par_outcome(WorkloadScale::Reduced, workers),
+                expected,
+                "parallel tick diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn mta_par_workers_is_positive_and_capped() {
+        for n_threads in [1, 2, 4, 64] {
+            let w = mta_par_workers(n_threads);
+            assert!(w >= 1);
+            assert!(w <= n_threads);
+        }
+        assert_eq!(mta_par_workers(0), 1);
     }
 
     #[test]

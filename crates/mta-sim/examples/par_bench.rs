@@ -1,0 +1,41 @@
+//! Wall-clock comparison of the sequential and parallel ticks on
+//! multi-processor kernels (release mode; used to pick the `mta_par`
+//! harness workload).
+use mta_sim::kernels::{chunked_scan_kernel, mixed_kernel};
+use mta_sim::{Machine, MtaConfig};
+use std::time::Instant;
+
+fn time_run(cfg: &MtaConfig, program: &mta_sim::Program, workers: usize) -> (f64, u64) {
+    let mut m = Machine::new(cfg.clone(), program.clone()).unwrap();
+    m.spawn(0, 0).unwrap();
+    let t = Instant::now();
+    let r = if workers == 0 {
+        m.run(u64::MAX)
+    } else {
+        m.run_parallel(u64::MAX, workers)
+    };
+    assert!(r.completed);
+    (t.elapsed().as_secs_f64(), r.cycles)
+}
+
+fn main() {
+    for procs in [2usize, 4, 8] {
+        let cfg = MtaConfig {
+            mem_words: 1 << 20,
+            ..MtaConfig::tera(procs)
+        };
+        for (name, program) in [
+            ("mixed 256x2000", mixed_kernel(256, 2000, 4, 100_000)),
+            ("scan 400x200", chunked_scan_kernel(400, 200, 256).0),
+        ] {
+            let (t_seq, c1) = time_run(&cfg, &program, 0);
+            print!("p{procs} {name}: seq {t_seq:.3}s ({c1} cy)");
+            for w in [1usize, 2, 4, 8] {
+                let (t_par, c2) = time_run(&cfg, &program, w);
+                assert_eq!(c1, c2, "cycle divergence at p{procs} w{w}");
+                print!(" | {w}w {:.2}x", t_seq / t_par);
+            }
+            println!();
+        }
+    }
+}

@@ -85,8 +85,18 @@ fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i64), ParseError> {
 }
 
 /// Assemble a text program into a validated [`Program`].
+///
+/// Label misuse is a typed error with the offending source line: defining
+/// the same label twice reports the duplicate (and where the first
+/// definition was), and branching/jumping/forking to a label that is
+/// never defined reports the first line that referenced it. Neither case
+/// silently misassembles or panics.
 pub fn assemble_text(source: &str) -> Result<Program, ParseError> {
     let mut a = Assembler::new();
+    // Label bookkeeping: where each label was defined, and the first line
+    // that referenced each label (for undefined-label diagnostics).
+    let mut defined: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut referenced: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
     for (i, raw) in source.lines().enumerate() {
         let lineno = i + 1;
         // Strip comments.
@@ -104,6 +114,13 @@ pub fn assemble_text(source: &str) -> Result<Program, ParseError> {
             if label.is_empty() || label.contains(char::is_whitespace) {
                 break; // not a label — let the mnemonic parser complain
             }
+            if let Some(&first) = defined.get(label) {
+                return Err(err(
+                    lineno,
+                    format!("duplicate label {label:?} (first defined at line {first})"),
+                ));
+            }
+            defined.insert(label.to_string(), lineno);
             a.label(label);
             rest = tail[1..].trim();
         }
@@ -242,27 +259,39 @@ pub fn assemble_text(source: &str) -> Result<Program, ParseError> {
             }
             "jmp" => {
                 want(1)?;
-                a.jmp_l(args[0].trim());
+                let t = args[0].trim();
+                referenced.entry(t.to_string()).or_insert(lineno);
+                a.jmp_l(t);
             }
             "beq" => {
                 want(3)?;
-                a.beq_l(r!(0), r!(1), args[2].trim());
+                let t = args[2].trim();
+                referenced.entry(t.to_string()).or_insert(lineno);
+                a.beq_l(r!(0), r!(1), t);
             }
             "bne" => {
                 want(3)?;
-                a.bne_l(r!(0), r!(1), args[2].trim());
+                let t = args[2].trim();
+                referenced.entry(t.to_string()).or_insert(lineno);
+                a.bne_l(r!(0), r!(1), t);
             }
             "blt" => {
                 want(3)?;
-                a.blt_l(r!(0), r!(1), args[2].trim());
+                let t = args[2].trim();
+                referenced.entry(t.to_string()).or_insert(lineno);
+                a.blt_l(r!(0), r!(1), t);
             }
             "bge" => {
                 want(3)?;
-                a.bge_l(r!(0), r!(1), args[2].trim());
+                let t = args[2].trim();
+                referenced.entry(t.to_string()).or_insert(lineno);
+                a.bge_l(r!(0), r!(1), t);
             }
             "fork" => {
                 want(2)?;
-                a.fork_l(args[0].trim(), r!(1));
+                let t = args[0].trim();
+                referenced.entry(t.to_string()).or_insert(lineno);
+                a.fork_l(t, r!(1));
             }
             "halt" => {
                 want(0)?;
@@ -270,6 +299,14 @@ pub fn assemble_text(source: &str) -> Result<Program, ParseError> {
             }
             other => return Err(err(lineno, format!("unknown mnemonic {other:?}"))),
         }
+    }
+    // Undefined labels: report the first line that referenced one.
+    if let Some((label, &line)) = referenced
+        .iter()
+        .filter(|(label, _)| !defined.contains_key(*label))
+        .min_by_key(|&(_, &line)| line)
+    {
+        return Err(err(line, format!("undefined label {label:?}")));
     }
     a.assemble().map_err(|message| err(0, message))
 }
@@ -377,6 +414,38 @@ mod tests {
     fn undefined_label_is_reported() {
         let e = assemble_text("jmp nowhere\nhalt\n").unwrap_err();
         assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn undefined_label_reports_first_referencing_line() {
+        // The branch on line 3 and the fork on line 4 both name labels
+        // that are never defined; the error must point at line 3 (the
+        // first reference), not line 0.
+        let e = assemble_text("li r2, 1\nhalt\nbeq r2, r0, missing\nfork ghost, r2\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(
+            e.message.contains("undefined label") && e.message.contains("missing"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_a_typed_error_with_both_lines() {
+        let e = assemble_text("start: li r2, 1\njmp start\nstart: halt\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(
+            e.message.contains("duplicate label")
+                && e.message.contains("start")
+                && e.message.contains("line 1"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn duplicate_label_on_one_line_is_rejected() {
+        let e = assemble_text("a: a: halt\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("duplicate label"), "{e}");
     }
 
     #[test]

@@ -3,8 +3,12 @@
 //!
 //! ```text
 //! mta-run PROG.asm [--procs N] [--streams N] [--lookahead N] [--arg V]
-//!                  [--empty ADDR]... [--dump ADDR..ADDR]
+//!                  [--workers N] [--empty ADDR]... [--dump ADDR..ADDR]
 //! ```
+//!
+//! `--workers N` (N > 1) runs the deterministic parallel tick
+//! ([`Machine::run_parallel`]) with N host worker threads; the result is
+//! bit-identical to the default sequential interpreter.
 
 use mta_sim::asm_text::assemble_text;
 use mta_sim::{Machine, MtaConfig};
@@ -14,6 +18,7 @@ fn main() {
     let mut path = None;
     let mut cfg = MtaConfig::tera(1);
     let mut arg_val = 0u64;
+    let mut workers = 1usize;
     let mut empties: Vec<usize> = Vec::new();
     let mut dump: Option<(usize, usize)> = None;
     while let Some(a) = args.next() {
@@ -22,6 +27,7 @@ fn main() {
             "--streams" => cfg.streams_per_processor = args.next().unwrap().parse().unwrap(),
             "--lookahead" => cfg.lookahead = args.next().unwrap().parse().unwrap(),
             "--arg" => arg_val = args.next().unwrap().parse().unwrap(),
+            "--workers" => workers = args.next().unwrap().parse().unwrap(),
             "--empty" => empties.push(args.next().unwrap().parse().unwrap()),
             "--dump" => {
                 let spec = args.next().unwrap();
@@ -31,7 +37,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: mta-run PROG.asm [--procs N] [--streams N] [--lookahead N] \
-                     [--arg V] [--empty ADDR]... [--dump A..B]"
+                     [--arg V] [--workers N] [--empty ADDR]... [--dump A..B]"
                 );
                 return;
             }
@@ -52,11 +58,22 @@ fn main() {
         m.memory_mut().set_empty(a);
     }
     m.spawn(0, arg_val).expect("spawn");
-    let r = m.run(10_000_000_000);
+    let r = if workers > 1 {
+        m.run_parallel(10_000_000_000, workers)
+    } else {
+        m.run(10_000_000_000)
+    };
+    let secs = match r.seconds(cfg.clock_mhz) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "cycles {} ({:.6} s at {} MHz) | instructions {} | utilization {:.1}% | forks {} | sync blocks {}",
         r.cycles,
-        r.seconds(cfg.clock_mhz),
+        secs,
         cfg.clock_mhz,
         r.stats.instructions(),
         100.0 * r.utilization(),

@@ -66,6 +66,7 @@ pub mod processor;
 pub use asm::Assembler;
 pub use ir::{Instr, Program, Reg};
 pub use machine::{
-    InstrMix, Machine, MtaConfig, RunResult, SimStats, StreamStats, SyncStats, ThreadStats,
+    ClockError, InstrMix, Machine, MtaConfig, RunResult, SimStats, StreamStats, SyncStats,
+    ThreadStats,
 };
 pub use memory::{MemStats, Memory};

@@ -1,0 +1,465 @@
+//! Parallel-tick oracle: `Machine::run_parallel` must be **bit-identical**
+//! to the sequential interpreter `Machine::run` — same `RunResult`
+//! (cycles, completion/deadlock flags, fault list in the same order, full
+//! `SimStats`) and same final memory image (words *and* full/empty bits)
+//! — at 1, 2, and 8 host workers, on the kernel corpus and on a
+//! fixed-seed random-program fuzz smoke.
+//!
+//! These tests are the determinism gate named in the PR's acceptance
+//! criteria; the `mta_par` phase of `BENCH_harness.json` re-checks the
+//! same property on the benchmark kernels.
+
+use mta_sim::ir::{Instr, Program};
+use mta_sim::kernels::{
+    alu_kernel, chunked_scan_kernel, mem_kernel, mixed_kernel, pipeline_kernel, ray_sweep_kernel,
+    reduce_kernel, vector_add_kernel,
+};
+use mta_sim::{Machine, MtaConfig};
+
+/// A small-memory Tera config so final-memory comparison stays cheap.
+fn cfg(n_processors: usize) -> MtaConfig {
+    MtaConfig {
+        mem_words: 1 << 16,
+        ..MtaConfig::tera(n_processors)
+    }
+}
+
+/// Build a machine, apply the shared setup (empties, input data), spawn
+/// the main stream at pc 0.
+fn fresh(cfg: &MtaConfig, program: &Program, setup: &dyn Fn(&mut Machine)) -> Machine {
+    let mut m = Machine::new(cfg.clone(), program.clone()).expect("machine must validate");
+    setup(&mut m);
+    m.spawn(0, 0).expect("spawn main stream");
+    m
+}
+
+fn assert_memory_identical(seq: &Machine, par: &Machine, label: &str) {
+    assert_eq!(
+        seq.memory().len(),
+        par.memory().len(),
+        "{label}: memory size"
+    );
+    for addr in 0..seq.memory().len() {
+        assert_eq!(
+            seq.memory().load(addr),
+            par.memory().load(addr),
+            "{label}: word {addr} differs"
+        );
+        assert_eq!(
+            seq.memory().is_full(addr),
+            par.memory().is_full(addr),
+            "{label}: full/empty bit {addr} differs"
+        );
+    }
+}
+
+/// Run the program sequentially and at 1/2/8 workers; every parallel run
+/// must reproduce the sequential result and memory image exactly.
+fn assert_parity(
+    cfg: &MtaConfig,
+    program: &Program,
+    max_cycles: u64,
+    setup: &dyn Fn(&mut Machine),
+    label: &str,
+) {
+    let mut seq = fresh(cfg, program, setup);
+    let expected = seq.run(max_cycles);
+    for workers in [1usize, 2, 8] {
+        let mut par = fresh(cfg, program, setup);
+        let got = par.run_parallel(max_cycles, workers);
+        assert_eq!(
+            expected, got,
+            "{label}: RunResult diverged at {workers} workers"
+        );
+        assert_memory_identical(&seq, &par, &format!("{label} @ {workers} workers"));
+    }
+}
+
+const MAX: u64 = 50_000_000;
+
+#[test]
+fn alu_kernel_parity() {
+    assert_parity(&cfg(2), &alu_kernel(8, 40), MAX, &|_| {}, "alu");
+}
+
+#[test]
+fn mem_kernel_parity() {
+    // stride 1 spreads banks; stride == n_banks hot-banks one of them.
+    for stride in [1, 64] {
+        assert_parity(
+            &cfg(2),
+            &mem_kernel(6, 20, stride, 2048),
+            MAX,
+            &|_| {},
+            &format!("mem stride {stride}"),
+        );
+    }
+}
+
+#[test]
+fn mixed_kernel_parity() {
+    assert_parity(
+        &cfg(4),
+        &mixed_kernel(12, 15, 4, 4096),
+        MAX,
+        &|_| {},
+        "mixed",
+    );
+}
+
+#[test]
+fn vector_add_parity() {
+    let (program, layout) = vector_add_kernel(48, 6);
+    assert_parity(
+        &cfg(2),
+        &program,
+        MAX,
+        &move |m| {
+            for i in 0..layout.n {
+                m.memory_mut().store_f64(layout.a_base + i, i as f64 * 0.5);
+                m.memory_mut()
+                    .store_f64(layout.b_base + i, 100.0 - i as f64);
+            }
+        },
+        "vector_add",
+    );
+}
+
+#[test]
+fn reduce_kernel_parity() {
+    let (program, layout) = reduce_kernel(40, 5);
+    assert_parity(
+        &cfg(2),
+        &program,
+        MAX,
+        &move |m| {
+            for i in 0..layout.n {
+                m.memory_mut()
+                    .store(layout.data_base + i, (i * 7 + 3) as u64);
+            }
+        },
+        "reduce",
+    );
+}
+
+#[test]
+fn pipeline_kernel_parity() {
+    // Producer/consumer chains over full/empty words: the sync-heavy case.
+    let (program, layout) = pipeline_kernel(4, 12);
+    assert_parity(
+        &cfg(2),
+        &program,
+        MAX,
+        &move |m| {
+            for c in 0..=layout.stages {
+                m.memory_mut().set_empty(layout.chan_base + c);
+            }
+        },
+        "pipeline",
+    );
+}
+
+#[test]
+fn chunked_scan_parity() {
+    let (program, layout) = chunked_scan_kernel(10, 6, 4);
+    assert_parity(
+        &cfg(2),
+        &program,
+        MAX,
+        &move |m| {
+            for p in 0..layout.n_pairs {
+                let start = (p % 3) as u64;
+                let end = if p % 2 == 0 { start + 2 } else { start };
+                m.memory_mut().store(layout.windows_base + 2 * p, start);
+                m.memory_mut().store(layout.windows_base + 2 * p + 1, end);
+            }
+        },
+        "chunked_scan",
+    );
+}
+
+#[test]
+fn ray_sweep_parity() {
+    let (program, layout) = ray_sweep_kernel(6, 8, 4);
+    assert_parity(
+        &cfg(2),
+        &program,
+        MAX,
+        &move |m| {
+            for r in 0..layout.n_rays {
+                for k in 0..layout.len {
+                    let v = ((r * 13 + k * 7) % 31) as f64 - 15.0;
+                    m.memory_mut()
+                        .store_f64(layout.slopes_base + r * layout.len + k, v);
+                }
+            }
+        },
+        "ray_sweep",
+    );
+}
+
+#[test]
+fn lookahead_parity() {
+    // Lookahead > 1 exercises the gate-ready reschedule path in phase A.
+    let mut c = cfg(2);
+    c.lookahead = 4;
+    assert_parity(&c, &mem_kernel(6, 20, 1, 2048), MAX, &|_| {}, "lookahead");
+}
+
+#[test]
+fn timeout_parity() {
+    // A budget that expires mid-run: the parallel tick must report the
+    // same (clamped) cycle count and the same partial statistics.
+    for max in [100, 1_000, 5_000] {
+        assert_parity(
+            &cfg(2),
+            &alu_kernel(8, 10_000),
+            max,
+            &|_| {},
+            &format!("timeout {max}"),
+        );
+    }
+}
+
+#[test]
+fn soft_spawn_parity() {
+    // More forked workers than hardware contexts: forks overflow into the
+    // pending-thread queue and soft-spawn onto freed slots.
+    let mut c = cfg(2);
+    c.streams_per_processor = 3;
+    assert_parity(&c, &alu_kernel(12, 25), MAX, &|_| {}, "soft_spawn");
+}
+
+#[test]
+fn deadlock_parity_across_processors() {
+    // Satellite: every stream parked on a full/empty bit, spread over both
+    // processors (fork placement is round-robin), must report
+    // `deadlocked = true` at the same cycle with identical fault lists.
+    let mut a = mta_sim::asm::Assembler::new();
+    a.li(2, 0);
+    a.li(3, 4);
+    a.label("spawn");
+    a.bge_l(2, 3, "spawned");
+    a.fork_l("work", 2);
+    a.addi(2, 2, 1);
+    a.jmp_l("spawn");
+    a.label("spawned");
+    a.halt();
+    a.label("work");
+    a.li(4, 1000);
+    a.add(4, 4, 1); // worker `id` waits on word 1000 + id ...
+    a.load_sync(5, 4, 0); // ... which stays empty forever: deadlock.
+    a.halt();
+    let program = a.assemble().expect("deadlock program assembles");
+    let setup = |m: &mut Machine| {
+        for addr in 1000..1004 {
+            m.memory_mut().set_empty(addr);
+        }
+    };
+    let mut seq = fresh(&cfg(2), &program, &setup);
+    let expected = seq.run(MAX);
+    assert!(
+        expected.deadlocked && !expected.completed,
+        "oracle must deadlock: {expected:?}"
+    );
+    assert!(
+        expected
+            .stats
+            .streams
+            .peak_live_per_processor
+            .iter()
+            .filter(|&&n| n > 0)
+            .count()
+            >= 2,
+        "deadlocked streams must span at least two processors: {:?}",
+        expected.stats.streams.peak_live_per_processor
+    );
+    for workers in [1usize, 2, 8] {
+        let mut par = fresh(&cfg(2), &program, &setup);
+        let got = par.run_parallel(MAX, workers);
+        assert!(
+            got.deadlocked,
+            "parallel run must deadlock at {workers} workers"
+        );
+        assert_eq!(expected, got, "deadlock diverged at {workers} workers");
+        assert_memory_identical(&seq, &par, &format!("deadlock @ {workers} workers"));
+    }
+}
+
+#[test]
+fn fault_parity_divide_by_zero() {
+    // Worker id 0 divides by its own id: one stream faults, others finish.
+    let mut a = mta_sim::asm::Assembler::new();
+    a.li(2, 0);
+    a.li(3, 4);
+    a.label("spawn");
+    a.bge_l(2, 3, "spawned");
+    a.fork_l("work", 2);
+    a.addi(2, 2, 1);
+    a.jmp_l("spawn");
+    a.label("spawned");
+    a.halt();
+    a.label("work");
+    a.li(4, 100);
+    a.div(5, 4, 1); // id 0 => divide by zero fault
+    a.halt();
+    let program = a.assemble().expect("fault program assembles");
+    assert_parity(&cfg(2), &program, MAX, &|_| {}, "div_fault");
+}
+
+// ───────────────────────── fixed-seed fuzz smoke ─────────────────────────
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random but structurally valid program: branch targets stay in range,
+/// memory traffic lands in a small shared region with a few words left
+/// empty, and forks/syncs/divides are all on the menu — so runs exercise
+/// completion, timeout, deadlock, and faults, all of which must agree
+/// with the oracle bit for bit.
+fn random_program(rng: &mut XorShift, len: usize) -> Program {
+    let mut code = Vec::with_capacity(len);
+    for i in 0..len {
+        // Destinations skip r0 (read-only); sources may use it.
+        let rd = |rng: &mut XorShift| 1 + rng.below(7) as u8;
+        let r = |rng: &mut XorShift| rng.below(8) as u8;
+        let target = |rng: &mut XorShift| rng.below(len as u64) as usize;
+        // Addresses land in [1000, 1032): overlapping streams contend on
+        // data words and full/empty bits.
+        let offset = |rng: &mut XorShift| 1000 + rng.below(32) as i64;
+        let instr = match rng.below(20) {
+            0 => Instr::Li {
+                rd: rd(rng),
+                imm: rng.below(64) as i64 - 8,
+            },
+            1 => Instr::Add {
+                rd: rd(rng),
+                ra: r(rng),
+                rb: r(rng),
+            },
+            2 => Instr::Addi {
+                rd: rd(rng),
+                ra: r(rng),
+                imm: rng.below(16) as i64 - 8,
+            },
+            3 => Instr::Mul {
+                rd: rd(rng),
+                ra: r(rng),
+                rb: r(rng),
+            },
+            4 => Instr::Div {
+                rd: rd(rng),
+                ra: r(rng),
+                rb: r(rng),
+            },
+            5 => Instr::Slt {
+                rd: rd(rng),
+                ra: r(rng),
+                rb: r(rng),
+            },
+            6 => Instr::FAdd {
+                rd: rd(rng),
+                ra: r(rng),
+                rb: r(rng),
+            },
+            7 => Instr::Jmp {
+                target: target(rng),
+            },
+            8 => Instr::Beq {
+                ra: r(rng),
+                rb: r(rng),
+                target: target(rng),
+            },
+            9 => Instr::Bne {
+                ra: r(rng),
+                rb: r(rng),
+                target: target(rng),
+            },
+            10 | 11 => Instr::Load {
+                rd: rd(rng),
+                base: 0,
+                offset: offset(rng),
+            },
+            12 | 13 => Instr::Store {
+                rs: r(rng),
+                base: 0,
+                offset: offset(rng),
+            },
+            14 => Instr::LoadSync {
+                rd: rd(rng),
+                base: 0,
+                offset: offset(rng),
+            },
+            15 => Instr::StoreSync {
+                rs: r(rng),
+                base: 0,
+                offset: offset(rng),
+            },
+            16 => Instr::FetchAdd {
+                rd: rd(rng),
+                base: 0,
+                offset: offset(rng),
+                rs: r(rng),
+            },
+            17 => Instr::Fork {
+                entry: target(rng),
+                arg: r(rng),
+            },
+            18 => Instr::ReadFF {
+                rd: rd(rng),
+                base: 0,
+                offset: offset(rng),
+            },
+            _ => {
+                if i == len - 1 || rng.below(4) == 0 {
+                    Instr::Halt
+                } else {
+                    Instr::Mov {
+                        rd: rd(rng),
+                        rs: r(rng),
+                    }
+                }
+            }
+        };
+        code.push(instr);
+    }
+    code.push(Instr::Halt);
+    Program::new(code)
+}
+
+#[test]
+fn fuzz_smoke_parity() {
+    let mut c = cfg(2);
+    c.streams_per_processor = 4; // small so forks overflow into soft spawns
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..25 {
+        let seed = rng.next() | 1;
+        let program = random_program(&mut XorShift(seed), 30);
+        let empties: Vec<usize> = (0..4).map(|k| 1000 + k * 7).collect();
+        let setup = move |m: &mut Machine| {
+            for &a in &empties {
+                m.memory_mut().set_empty(a);
+            }
+        };
+        assert_parity(
+            &c,
+            &program,
+            30_000,
+            &setup,
+            &format!("fuzz case {case} (seed {seed:#x})"),
+        );
+    }
+}
