@@ -60,6 +60,33 @@ echo "== differential fuzz smoke (fixed seed) =="
 # broaden locally with `repro --fuzz 200 --fuzz-seed $RANDOM`.
 ./target/release/repro --reduced --fuzz 25 --fuzz-seed 1
 
+echo "== autopar oracle + soundness suites =="
+# The dataflow pass's contract, by name (see docs/AUTOPAR.md): the
+# parallel SCC-DAG solve is bit-identical to the sequential worklist
+# solver on random graphs and random loop nests at 1/2/8 workers
+# (dataflow_oracle); every PARALLEL verdict also *executes*
+# bit-identically — random loop bodies interpreted sequentially vs
+# uneven workers under adversarial iteration orders, privatized temps
+# poisoned (exec_soundness); brute-force soundness plus
+# dataflow-subsumes-conservative on random affine loops (soundness);
+# and the pinned provenance-carrying report text (report_snapshot).
+# All also part of `cargo test`; explicit so a verdict regression is
+# named in CI output.
+cargo test -q -p autopar --test soundness --test dataflow_oracle \
+  --test exec_soundness --test report_snapshot
+
+echo "== table-auto smoke (auto-vs-manual comparison, pinned CSV) =="
+# Regenerates the living comparison table behind docs/AUTOPAR.md:
+# verdicts for both passes, cleared obstacles, residual blockers,
+# emitted schedules, and the execution checks (the auto-parallelized
+# Threat Analysis structure run through the real c3i chunked kernel,
+# bit-identical to sequential). Every cell is deterministic text — no
+# timings — so the CSV must match the pinned copy byte for byte.
+TABLE_AUTO_DIR=$(mktemp -d)
+./target/release/repro --reduced table-auto --csv "$TABLE_AUTO_DIR" > /dev/null
+diff -u results/table_auto.csv "$TABLE_AUTO_DIR/table_auto.csv"
+rm -rf "$TABLE_AUTO_DIR"
+
 echo "== simulator parallel-tick oracle (fixed-seed) =="
 # The mta-sim determinism gate: Machine::run_parallel must be
 # bit-identical to the sequential interpreter (RunResult, SimStats, fault

@@ -19,7 +19,7 @@
 //!   were actually compiled.
 
 use crate::ir::{ArrayRef, Expr, LoopNest};
-use crate::report::{LoopVerdict, Reason};
+use crate::report::{LoopVerdict, Reason, ReasonKind};
 use std::collections::BTreeSet;
 
 /// Greatest common divisor.
@@ -82,8 +82,10 @@ fn dim_may_conflict(a: &Expr, b: &Expr, loop_var: &str) -> bool {
 }
 
 /// Can the reference pair conflict across iterations? Independent if ANY
-/// dimension provably separates them.
-fn refs_may_conflict(a: &ArrayRef, b: &ArrayRef, loop_var: &str) -> bool {
+/// dimension provably separates them. Shared with the dataflow pass
+/// ([`crate::reduction`]), which runs the same test after clearing
+/// privatized and compacted references.
+pub(crate) fn refs_may_conflict(a: &ArrayRef, b: &ArrayRef, loop_var: &str) -> bool {
     if a.array != b.array {
         return false;
     }
@@ -152,9 +154,12 @@ pub fn analyze_loop_with(l: &LoopNest, opts: &AnalysisOptions) -> LoopVerdict {
     let mut flagged: BTreeSet<&str> = BTreeSet::new();
     for s in &stmts {
         for w in &s.writes {
-            let reducible = opts.recognize_reductions && s.reductions.iter().any(|r| r == w);
+            let reducible = opts.recognize_reductions && s.reductions.iter().any(|r| r.name == *w);
             if w != &l.var && !private.contains(w) && !reducible && flagged.insert(w) {
-                reasons.push(Reason::ScalarDependence { name: w.clone() });
+                reasons.push(Reason::at(
+                    ReasonKind::ScalarDependence { name: w.clone() },
+                    s,
+                ));
             }
         }
     }
@@ -164,7 +169,7 @@ pub fn analyze_loop_with(l: &LoopNest, opts: &AnalysisOptions) -> LoopVerdict {
     for s in &stmts {
         for c in &s.calls {
             if called.insert(c) {
-                reasons.push(Reason::OpaqueCall { name: c.clone() });
+                reasons.push(Reason::at(ReasonKind::OpaqueCall { name: c.clone() }, s));
             }
         }
     }
@@ -189,14 +194,20 @@ pub fn analyze_loop_with(l: &LoopNest, opts: &AnalysisOptions) -> LoopVerdict {
                                     && !matches!(e, Expr::Affine { var, .. } if var == &l.var)
                             });
                             reasons.push(if opaque {
-                                Reason::DataDependentSubscript {
-                                    array: a.array.clone(),
-                                }
+                                Reason::at(
+                                    ReasonKind::DataDependentSubscript {
+                                        array: a.array.clone(),
+                                    },
+                                    s1,
+                                )
                             } else {
-                                Reason::ArrayConflict {
-                                    array: a.array.clone(),
-                                    with: s2.label.clone(),
-                                }
+                                Reason::at(
+                                    ReasonKind::ArrayConflict {
+                                        array: a.array.clone(),
+                                        with: s2.label.clone(),
+                                    },
+                                    s1,
+                                )
                             });
                         }
                     }
@@ -261,7 +272,10 @@ mod tests {
         );
         let verdict = v(&l);
         assert!(!verdict.parallel);
-        assert!(matches!(verdict.reasons[0], Reason::ArrayConflict { .. }));
+        assert!(matches!(
+            verdict.reasons[0].kind,
+            ReasonKind::ArrayConflict { .. }
+        ));
     }
 
     #[test]
@@ -302,10 +316,12 @@ mod tests {
         );
         let verdict = v(&l);
         assert!(!verdict.parallel);
+        assert_eq!(verdict.reasons.len(), 1);
         assert_eq!(
-            verdict.reasons,
-            vec![Reason::ScalarDependence { name: "sum".into() }]
+            verdict.reasons[0].kind,
+            ReasonKind::ScalarDependence { name: "sum".into() }
         );
+        assert_eq!(verdict.reasons[0].stmt, "sum+=a[i]");
     }
 
     #[test]
@@ -332,7 +348,8 @@ mod tests {
         assert!(!verdict.parallel);
         assert!(verdict
             .reasons
-            .contains(&Reason::OpaqueCall { name: "f".into() }));
+            .iter()
+            .any(|r| r.kind == ReasonKind::OpaqueCall { name: "f".into() }));
     }
 
     #[test]
@@ -345,9 +362,10 @@ mod tests {
         ));
         let verdict = v(&l);
         assert!(!verdict.parallel);
-        assert!(verdict.reasons.contains(&Reason::DataDependentSubscript {
-            array: "out".into()
-        }));
+        assert!(verdict.reasons.iter().any(|r| r.kind
+            == ReasonKind::DataDependentSubscript {
+                array: "out".into()
+            }));
     }
 
     #[test]

@@ -35,6 +35,70 @@ impl Expr {
             offset: 0,
         }
     }
+
+    /// If this is an [`Expr::Opaque`] holding a bare identifier (a scalar
+    /// name such as `num_intervals`, as opposed to free-form text like
+    /// `"x in region"`), return that identifier.
+    ///
+    /// This is the hook the dataflow pass uses to connect data-dependent
+    /// subscripts back to the scalars they read: `intervals[num_intervals]`
+    /// is a *use* of `num_intervals`, which is what lets the compaction
+    /// recognizer prove distinct iterations write distinct slots once the
+    /// counter is known to be a monotone count reduction.
+    pub fn opaque_scalar(&self) -> Option<&str> {
+        match self {
+            Expr::Opaque(s)
+                if !s.is_empty()
+                    && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                    && !s.starts_with(|c: char| c.is_ascii_digit()) =>
+            {
+                Some(s)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The combining operator of a recognized associative reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// `x = x + expr` (also covers `-` rewritten as adding a negation).
+    Sum,
+    /// `x = min(x, expr)`.
+    Min,
+    /// `x = max(x, expr)`.
+    Max,
+    /// `x = x + k` with `k >= 1` per execution: a monotone counter whose
+    /// intermediate values index a compaction store (`out[x++] = ...`).
+    /// Unlike the other operators the *intermediate* values of a count may
+    /// be observed — but only as store subscripts, which the compaction
+    /// analysis checks separately.
+    Count,
+}
+
+impl std::fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Min => "min",
+            ReduceOp::Max => "max",
+            ReduceOp::Count => "count",
+        })
+    }
+}
+
+/// An associative-update annotation on a statement: `name = name op ...`.
+///
+/// The annotation records only the *shape* the frontend saw; whether the
+/// scalar really is parallelizable as a reduction (no other reads, no
+/// non-reduction writes anywhere in the loop) is decided by the dataflow
+/// pass (`reduction::recognize`), not here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reduction {
+    /// The updated scalar.
+    pub name: String,
+    /// The combining operator.
+    pub op: ReduceOp,
 }
 
 /// One array access.
@@ -53,6 +117,10 @@ pub struct ArrayRef {
 pub struct Stmt {
     /// Human-readable label for reports.
     pub label: String,
+    /// Source line of the statement in the program listing it was lifted
+    /// from (0 when unknown). Reports cite this line, so a verdict names
+    /// the exact statement carrying the blocking dependence.
+    pub line: u32,
     /// Scalars read.
     pub reads: Vec<String>,
     /// Scalars written.
@@ -60,7 +128,7 @@ pub struct Stmt {
     /// Scalars updated by an associative reduction (`x = x op expr`).
     /// A *modern* parallelizer can privatize these; the 1998 compilers the
     /// paper tested could not (see `deps::analyze_loop_with`).
-    pub reductions: Vec<String>,
+    pub reductions: Vec<Reduction>,
     /// Array accesses.
     pub arrays: Vec<ArrayRef>,
     /// Names of opaque (separately compiled / pointer-manipulating)
@@ -89,10 +157,30 @@ impl Stmt {
         self
     }
 
-    /// Builder: mark scalars as associative reductions (they must also be
-    /// listed as writes).
+    /// Builder: set the source line for report provenance.
+    pub fn at(mut self, line: u32) -> Self {
+        self.line = line;
+        self
+    }
+
+    /// Builder: mark scalars as associative sum reductions (they must
+    /// also be listed as writes). Use [`Stmt::reduces_op`] for min/max
+    /// combining or monotone counters.
     pub fn reduces(mut self, names: &[&str]) -> Self {
-        self.reductions.extend(names.iter().map(|s| s.to_string()));
+        self.reductions.extend(names.iter().map(|s| Reduction {
+            name: s.to_string(),
+            op: ReduceOp::Sum,
+        }));
+        self
+    }
+
+    /// Builder: mark one scalar as an associative reduction with an
+    /// explicit combining operator.
+    pub fn reduces_op(mut self, name: &str, op: ReduceOp) -> Self {
+        self.reductions.push(Reduction {
+            name: name.to_string(),
+            op,
+        });
         self
     }
 
@@ -131,6 +219,14 @@ pub struct LoopNest {
     pub var: String,
     /// Variables declared inside the body (privatizable by definition).
     pub private: Vec<String>,
+    /// Arrays known to be dead after the loop (scratch storage the source
+    /// re-initializes every iteration, like Terrain Masking's `temp`
+    /// grid). Deadness-after-loop is a whole-program fact this loop-level
+    /// IR cannot derive, so the frontend declares it; whether the array
+    /// is *safe* to privatize per iteration (every read covered by an
+    /// earlier same-iteration write to the same subscripts) is still
+    /// proved by the dataflow pass, never assumed.
+    pub scratch: Vec<String>,
     /// Whether the programmer marked the loop with an explicit parallel
     /// pragma (`#pragma multithreaded` / Tera `assert parallel`).
     pub pragma_parallel: bool,
@@ -145,6 +241,7 @@ impl LoopNest {
             label: label.to_string(),
             var: var.to_string(),
             private: Vec::new(),
+            scratch: Vec::new(),
             pragma_parallel: false,
             body: Vec::new(),
         }
@@ -153,6 +250,13 @@ impl LoopNest {
     /// Builder: declare body-local (private) variables.
     pub fn private(mut self, names: &[&str]) -> Self {
         self.private.extend(names.iter().map(|s| s.to_string()));
+        self
+    }
+
+    /// Builder: declare arrays dead after the loop (see
+    /// [`LoopNest::scratch`]).
+    pub fn scratch(mut self, names: &[&str]) -> Self {
+        self.scratch.extend(names.iter().map(|s| s.to_string()));
         self
     }
 
@@ -198,6 +302,21 @@ impl LoopNest {
                 if let Node::Loop(l) = n {
                     out.push(l.var.clone());
                     out.extend(l.private.iter().cloned());
+                    walk(&l.body, out);
+                }
+            }
+        }
+        walk(&self.body, &mut out);
+        out
+    }
+
+    /// Arrays declared scratch at any nesting level.
+    pub fn all_scratch(&self) -> Vec<String> {
+        let mut out = self.scratch.clone();
+        fn walk(nodes: &[Node], out: &mut Vec<String>) {
+            for n in nodes {
+                if let Node::Loop(l) = n {
+                    out.extend(l.scratch.iter().cloned());
                     walk(&l.body, out);
                 }
             }

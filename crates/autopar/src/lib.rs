@@ -15,19 +15,48 @@
 //! and that even the manually transformed programs were only parallelized
 //! once explicit parallel-loop pragmas were added.
 //!
-//! This crate reproduces that compiler behaviour: a loop-nest IR
-//! ([`ir`]), a conservative dependence analyzer ([`deps`]) with the
-//! standard scalar/affine (GCD) subscripts tests, canal-style feedback
-//! reports ([`report`]), and encodings of the paper's Programs 1–4
-//! ([`programs`]) on which the analyzer reaches exactly the published
-//! verdicts — while still auto-parallelizing simple affine loops (so the
-//! negative results are not vacuous).
+//! This crate reproduces that compiler behaviour — and then builds the
+//! compiler the paper wished for:
+//!
+//! * a loop-nest IR ([`ir`]);
+//! * the conservative dependence analyzer ([`deps`]) with the standard
+//!   scalar/affine (GCD) subscript tests — the 1998 stance, on which the
+//!   paper's Programs 1–4 ([`programs`]) reach exactly the published
+//!   verdicts;
+//! * a worklist bitset dataflow engine ([`dataflow`]: reaching
+//!   definitions + liveness) scheduled over the Tarjan condensation of
+//!   the CFG ([`scc`]), with the parallel SCC-DAG solve dogfooding
+//!   [`sthreads::par_map`] and the sequential worklist kept as its
+//!   bit-identical oracle;
+//! * recognition on top of the solved facts ([`reduction`]): associative
+//!   reductions, scalar/array privatization, the `out[count++]`
+//!   compaction idiom, and interprocedural purity summaries — each
+//!   clearing (and each residual rejection) carrying statement-level
+//!   provenance in canal-style reports ([`report`]);
+//! * an emission pass ([`emit`]) turning parallel verdicts into
+//!   [`sthreads::Schedule`] annotations, executed by the `repro
+//!   table-auto` experiment against the manual transformations.
+//!
+//! The dataflow pass parallelizes Programs 1 and 2 *without* pragmas and
+//! still rejects Programs 3 and 4 for their genuinely carried
+//! dependences — see `docs/AUTOPAR.md` for the living auto-vs-manual
+//! comparison.
 
+#![warn(missing_docs)]
+
+pub mod dataflow;
 pub mod deps;
+pub mod emit;
 pub mod ir;
 pub mod programs;
+pub mod reduction;
 pub mod report;
+pub mod scc;
 
 pub use deps::{analyze_loop, analyze_loop_with, AnalysisOptions};
-pub use ir::{ArrayRef, Expr, LoopNest, Node, Stmt};
-pub use report::{LoopVerdict, Reason, Report};
+pub use emit::{emit_plan, ParallelPlan};
+pub use ir::{ArrayRef, Expr, LoopNest, Node, ReduceOp, Reduction, Stmt};
+pub use reduction::{
+    analyze_loop_dataflow, DataflowOptions, DataflowReport, DataflowVerdict, Summaries,
+};
+pub use report::{ClearedKind, Clearing, LoopVerdict, Reason, ReasonKind, Report};

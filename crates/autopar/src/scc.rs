@@ -1,0 +1,222 @@
+//! Tarjan strongly-connected-component decomposition and the condensation
+//! DAG used to schedule the dataflow solve.
+//!
+//! The worklist solver in [`crate::dataflow`] iterates equations to a
+//! fixpoint; every cycle of the graph lives inside one SCC, so the
+//! condensation (one node per SCC) is acyclic and can be *scheduled*: once
+//! every predecessor SCC has reached its final values, an SCC's own local
+//! fixpoint equals the restriction of the global fixpoint to its nodes.
+//! That is the invariant the parallel solver exploits — SCCs are grouped
+//! into topological levels, each level solved concurrently over
+//! `sthreads::par_map`, with a barrier between levels so a component never
+//! reads a predecessor that is still iterating.
+
+/// Strongly connected components of a directed graph given as adjacency
+/// lists, in **reverse topological order** of the condensation (Tarjan's
+/// natural emission order: every edge between distinct components goes
+/// from a later-emitted component to an earlier-emitted one). Node order
+/// inside each component follows stack pop order and is deterministic for
+/// a given graph.
+pub fn tarjan(succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = succs.len();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative DFS: each frame is (node, next child position) so deep
+    // graphs cannot overflow the call stack.
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child < succs[v].len() {
+                let w = succs[v][*child];
+                *child += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+    comps
+}
+
+/// The condensation of a graph: its SCCs plus the acyclic edges between
+/// them, with a topological level assignment.
+#[derive(Debug, Clone)]
+pub struct SccDag {
+    /// Component index of every node.
+    pub comp_of: Vec<usize>,
+    /// Node lists per component (reverse topological component order, as
+    /// emitted by [`tarjan`]).
+    pub comps: Vec<Vec<usize>>,
+    /// Condensation edges: distinct successor components of each
+    /// component, deduplicated, in first-encounter order.
+    pub succs: Vec<Vec<usize>>,
+}
+
+impl SccDag {
+    /// Decompose `succs` into its condensation.
+    pub fn build(succs: &[Vec<usize>]) -> Self {
+        let comps = tarjan(succs);
+        let mut comp_of = vec![0usize; succs.len()];
+        for (c, nodes) in comps.iter().enumerate() {
+            for &v in nodes {
+                comp_of[v] = c;
+            }
+        }
+        let mut dag_succs: Vec<Vec<usize>> = vec![Vec::new(); comps.len()];
+        for (v, outs) in succs.iter().enumerate() {
+            let cv = comp_of[v];
+            for &w in outs {
+                let cw = comp_of[w];
+                if cw != cv && !dag_succs[cv].contains(&cw) {
+                    dag_succs[cv].push(cw);
+                }
+            }
+        }
+        SccDag {
+            comp_of,
+            comps,
+            succs: dag_succs,
+        }
+    }
+
+    /// Topological levels of the condensation: level 0 holds components
+    /// with no condensation predecessors; every edge goes from a lower
+    /// level to a strictly higher one. Components within a level are
+    /// mutually unreachable, which is what makes a level-parallel solve
+    /// with a barrier between levels race-free *and* deterministic.
+    pub fn levels(&self) -> Vec<Vec<usize>> {
+        let n = self.comps.len();
+        let mut level = vec![0usize; n];
+        // tarjan emits reverse topological order, so iterating components
+        // from last to first visits every predecessor before its
+        // successors.
+        for c in (0..n).rev() {
+            for &s in &self.succs[c] {
+                level[s] = level[s].max(level[c] + 1);
+            }
+        }
+        let max_level = level.iter().copied().max().map_or(0, |m| m + 1);
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); max_level];
+        // Deterministic within-level order: descending component index,
+        // i.e. condensation-topological order as emitted by tarjan.
+        for c in (0..n).rev() {
+            out[level[c]].push(c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        // 0 -> 1 -> 2 -> 0
+        let g = vec![vec![1], vec![2], vec![0]];
+        let comps = tarjan(&g);
+        assert_eq!(comps.len(), 1);
+        let mut nodes = comps[0].clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dag_yields_singletons_in_reverse_topo_order() {
+        // 0 -> 1 -> 2
+        let g = vec![vec![1], vec![2], vec![]];
+        let comps = tarjan(&g);
+        assert_eq!(comps, vec![vec![2], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn condensation_levels_respect_edges() {
+        // Two 2-cycles joined by an edge plus an isolated node:
+        // {0,1} -> {2,3},  4 isolated.
+        let g = vec![vec![1], vec![0, 2], vec![3], vec![2], vec![]];
+        let dag = SccDag::build(&g);
+        assert_eq!(dag.comps.len(), 3);
+        let levels = dag.levels();
+        let level_of = |node: usize| {
+            let c = dag.comp_of[node];
+            levels.iter().position(|l| l.contains(&c)).unwrap()
+        };
+        assert!(level_of(0) < level_of(2), "edge must cross levels upward");
+        assert_eq!(level_of(0), level_of(1), "cycle stays in one component");
+        assert_eq!(level_of(4), 0, "isolated node has no predecessors");
+    }
+
+    #[test]
+    fn every_edge_goes_to_a_strictly_higher_level() {
+        // A denser random-ish fixed graph.
+        let g = vec![
+            vec![1, 4],
+            vec![2],
+            vec![0, 3],
+            vec![5],
+            vec![5, 3],
+            vec![6],
+            vec![5], // 5 <-> 6 cycle
+            vec![],
+        ];
+        let dag = SccDag::build(&g);
+        let levels = dag.levels();
+        let mut level_of_comp = vec![0usize; dag.comps.len()];
+        for (i, l) in levels.iter().enumerate() {
+            for &c in l {
+                level_of_comp[c] = i;
+            }
+        }
+        for (c, outs) in dag.succs.iter().enumerate() {
+            for &s in outs {
+                assert!(level_of_comp[s] > level_of_comp[c], "{c} -> {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        assert!(tarjan(&[]).is_empty());
+        assert!(SccDag::build(&[]).levels().is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! The parallel SCC-DAG dataflow solve is BIT-IDENTICAL to the sequential
+//! worklist solver — the oracle property (ISSUE 10).
+//!
+//! The least fixpoint of a union/monotone dataflow problem is unique, and
+//! the bitset representation is canonical, so any sound schedule must
+//! land on exactly the same bits. We check it two ways: on random raw
+//! graphs with random gen/kill sets (driving `solve_union_dataflow`
+//! directly), and on random loop nests end-to-end through `solve` (both
+//! analyses, CFG construction included), at 1 / 2 / 8 workers.
+
+use autopar::dataflow::{solve, solve_sequential, solve_union_dataflow, BitSet};
+use autopar::{LoopNest, Stmt};
+use proptest::prelude::*;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[derive(Debug, Clone)]
+struct RawProblem {
+    n: usize,
+    nbits: usize,
+    edges: Vec<(usize, usize)>,
+    gen_bits: Vec<Vec<usize>>,
+    kill_bits: Vec<Vec<usize>>,
+}
+
+fn arb_raw_problem() -> impl Strategy<Value = RawProblem> {
+    (1usize..16, 1usize..80).prop_flat_map(|(n, nbits)| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..n * 3);
+        let gen_bits =
+            proptest::collection::vec(proptest::collection::vec(0..nbits, 0..5.min(nbits)), n..=n);
+        let kill_bits =
+            proptest::collection::vec(proptest::collection::vec(0..nbits, 0..5.min(nbits)), n..=n);
+        (edges, gen_bits, kill_bits).prop_map(move |(edges, gen_bits, kill_bits)| RawProblem {
+            n,
+            nbits,
+            edges,
+            gen_bits,
+            kill_bits,
+        })
+    })
+}
+
+fn solve_raw(p: &RawProblem, workers: usize) -> (Vec<BitSet>, Vec<BitSet>) {
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); p.n];
+    for &(a, b) in &p.edges {
+        if !succs[a].contains(&b) {
+            succs[a].push(b);
+        }
+    }
+    let mk = |bits: &[Vec<usize>]| -> Vec<BitSet> {
+        bits.iter()
+            .map(|is| {
+                let mut s = BitSet::new(p.nbits);
+                for &i in is {
+                    s.insert(i);
+                }
+                s
+            })
+            .collect()
+    };
+    solve_union_dataflow(
+        &succs,
+        &mk(&p.gen_bits),
+        &mk(&p.kill_bits),
+        p.nbits,
+        workers,
+    )
+}
+
+/// A small random loop nest: statements with reads/writes over a fixed
+/// scalar pool, at up to three nesting levels.
+fn arb_loop() -> impl Strategy<Value = LoopNest> {
+    const POOL: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+    let stmt = (
+        proptest::collection::vec(0usize..POOL.len(), 0..3),
+        proptest::collection::vec(0usize..POOL.len(), 0..3),
+    )
+        .prop_map(|(reads, writes)| {
+            let mut s = Stmt::new("gen");
+            s.reads = reads.iter().map(|&i| POOL[i].to_string()).collect();
+            s.writes = writes.iter().map(|&i| POOL[i].to_string()).collect();
+            s
+        });
+    proptest::collection::vec((stmt, 0usize..3), 1..8).prop_map(|items| {
+        // depth 0 statements go in the outer loop, 1 in a middle nest,
+        // 2 in an inner nest — enough shape variety to exercise multiple
+        // back edges.
+        let mut outer = LoopNest::new("outer", "i");
+        let mut mid = LoopNest::new("mid", "j");
+        let mut inner = LoopNest::new("inner", "k");
+        for (s, depth) in items {
+            match depth {
+                0 => outer = outer.stmt(s),
+                1 => mid = mid.stmt(s),
+                _ => inner = inner.stmt(s),
+            }
+        }
+        if !inner.body.is_empty() {
+            mid = mid.nest(inner);
+        }
+        if !mid.body.is_empty() {
+            outer = outer.nest(mid);
+        }
+        outer
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Raw graphs: every worker count lands on the same bits.
+    #[test]
+    fn parallel_raw_solve_matches_sequential(p in arb_raw_problem()) {
+        let oracle = solve_raw(&p, 1);
+        for &w in &WORKER_COUNTS[1..] {
+            prop_assert_eq!(&solve_raw(&p, w), &oracle, "{} workers", w);
+        }
+    }
+
+    /// End-to-end on loop nests: CFG + both analyses, all worker counts.
+    #[test]
+    fn parallel_loop_facts_match_sequential(l in arb_loop()) {
+        let oracle = solve_sequential(&l);
+        for &w in &WORKER_COUNTS {
+            prop_assert_eq!(&solve(&l, w), &oracle, "{} workers", w);
+        }
+    }
+}
+
+/// The benchmark encodings themselves, as a fixed regression.
+#[test]
+fn benchmark_loops_solve_identically_at_all_worker_counts() {
+    for l in autopar::programs::benchmark_loops() {
+        let oracle = solve_sequential(&l);
+        for &w in &WORKER_COUNTS {
+            assert_eq!(solve(&l, w), oracle, "{w} workers on {}", l.label);
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //! allowed: the analyzer is conservative, exactly like the compilers in
 //! the paper.)
 
+use autopar::reduction::{analyze_loop_dataflow, DataflowOptions};
 use autopar::{analyze_loop, ArrayRef, Expr, LoopNest, Stmt};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -119,5 +120,31 @@ proptest! {
         l.pragma_parallel = true;
         let verdict = analyze_loop(&l);
         prop_assert!(verdict.parallel && verdict.by_pragma);
+    }
+
+    /// SOUNDNESS of the dataflow pass on the same fragment: the stronger
+    /// analyzer clears more obstacles, but on plain affine loops it must
+    /// still never declare a conflicting loop parallel.
+    #[test]
+    fn dataflow_parallel_verdicts_are_sound(accesses in proptest::collection::vec(arb_access(), 1..5)) {
+        let dv = analyze_loop_dataflow(&build_loop(&accesses), &DataflowOptions::new(1));
+        if dv.verdict.parallel {
+            prop_assert!(
+                !has_cross_iteration_conflict(&accesses),
+                "dataflow pass declared parallel but iterations conflict: {accesses:?}"
+            );
+        }
+    }
+
+    /// MONOTONICITY: the dataflow pass accepts everything the
+    /// conservative pass accepts.
+    #[test]
+    fn dataflow_subsumes_conservative(accesses in proptest::collection::vec(arb_access(), 1..5)) {
+        let l = build_loop(&accesses);
+        if analyze_loop(&l).parallel {
+            prop_assert!(
+                analyze_loop_dataflow(&l, &DataflowOptions::new(1)).verdict.parallel
+            );
+        }
     }
 }

@@ -6,8 +6,8 @@
 //! repro --serve ADDR [--reduced] [--threads N]
 //! repro --load ADDR [--requests N] [--conns N] [--mix-seed S] [--stop-server]
 //!
-//! SECTIONs: tables (default), figures, utilization, autopar, scalability,
-//!           sensitivity, all
+//! SECTIONs: tables (default), figures, utilization, autopar, table-auto,
+//!           scalability, sensitivity, all
 //! ```
 //!
 //! With no arguments the binary measures the paper-scale workload,
@@ -88,7 +88,7 @@ const USAGE: &str = "usage: repro [--reduced] [--no-cache] [--timing] [--profile
      [--gate FILE] [--fuzz N] [--fuzz-seed S] [--threads N] [--csv DIR] \
      [--json FILE] [--out FILE] [--serve ADDR] \
      [--load ADDR [--requests N] [--conns N] [--mix-seed S] [--stop-server]] \
-     [tables|figures|utilization|autopar|scalability|sensitivity|all]...";
+     [tables|figures|utilization|autopar|table-auto|scalability|sensitivity|all]...";
 
 /// The operand of a value-taking flag. Missing operands and operands
 /// that look like the next flag are both hard errors: `repro --json`
@@ -728,6 +728,32 @@ fn main() {
     }
     let mut out = String::new();
 
+    // "table-auto" is the living auto-vs-manual comparison (ISSUE 10):
+    // every cell is deterministic text and the execution checks run on
+    // small fixed scenarios, so it needs no workload measurement and no
+    // calibration. It renders first, and when it is the only requested
+    // section repro exits here — that path is the CI smoke that diffs
+    // the CSV against the pinned results/table_auto.csv.
+    if want(&opts, "table-auto") {
+        let t = experiments::Experiments::table_auto(n_threads);
+        out.push_str(&t.render());
+        out.push('\n');
+        if let Some(dir) = &opts.csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{dir}/{}.csv", t.id.to_lowercase().replace(' ', "_"));
+            std::fs::write(&path, t.to_csv()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+        if opts.sections.iter().all(|s| s == "table-auto") {
+            print!("{out}");
+            if let Some(path) = &opts.out_file {
+                std::fs::write(path, out.as_bytes()).expect("write out file");
+                eprintln!("wrote {path}");
+            }
+            return;
+        }
+    }
+
     eprintln!(
         "loading workload ({:?} scale) and calibrating models...",
         opts.scale
@@ -780,8 +806,13 @@ fn main() {
     }
 
     if want(&opts, "autopar") {
+        let summary = exps.autopar_report();
         out.push_str("Automatic parallelization (modeled Tera/Exemplar compilers):\n");
-        out.push_str(&exps.autopar_report().report.to_string());
+        out.push_str(&summary.report.to_string());
+        out.push_str(
+            "\nDataflow pass (reductions, privatization, compaction, purity summaries):\n",
+        );
+        out.push_str(&summary.dataflow.to_string());
         out.push('\n');
     }
 

@@ -66,6 +66,18 @@ pub enum Schedule {
     Stealing,
 }
 
+impl std::fmt::Display for Schedule {
+    /// Lowercase schedule name (`static` / `dynamic` / `stealing`), the
+    /// spelling used in pragma-style annotations and report tables.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Schedule::Static => "static",
+            Schedule::Dynamic => "dynamic",
+            Schedule::Stealing => "stealing",
+        })
+    }
+}
+
 /// Bounds of one static chunk, as produced by [`ParFor::chunks`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkBounds {

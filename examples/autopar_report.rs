@@ -1,13 +1,16 @@
 //! The automatic-parallelization experiment: run the modeled
 //! Tera/Exemplar compiler over the paper's four benchmark loop nests and
-//! over loops it *can* handle, and print canal-style feedback.
+//! over loops it *can* handle, print canal-style feedback, then run the
+//! dataflow pass (reduction recognition, privatization, compaction,
+//! purity summaries) over the same loops and show what it clears — the
+//! living comparison lives in `docs/AUTOPAR.md`.
 //!
 //! ```text
 //! cargo run --example autopar_report
 //! ```
 
 use tera_c3i::autopar::programs;
-use tera_c3i::autopar::{analyze_loop, Expr, LoopNest, Stmt};
+use tera_c3i::autopar::{analyze_loop, emit_plan, Expr, LoopNest, Stmt};
 
 fn main() {
     println!("== the paper's benchmark loop nests (no pragmas) ==\n");
@@ -90,4 +93,14 @@ fn main() {
                 .array("b", vec![Expr::var("i")], false),
         );
     print!("{}", analyze_loop(&private_tmp));
+
+    println!("\n== the dataflow pass: what a stronger compiler clears ==\n");
+    let df = programs::dataflow_report(1);
+    print!("{df}");
+    println!("\n-> emitted sthreads annotations for the loops it proved parallel:\n");
+    for (l, v) in programs::benchmark_loops().iter().zip(&df.verdicts) {
+        if let Some(p) = emit_plan(l, v) {
+            println!("  {}\n    {}", l.label, p.annotation());
+        }
+    }
 }
